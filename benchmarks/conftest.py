@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``test_bench_fig*.py`` module regenerates one figure of the paper's
+evaluation at benchmark scale (full workload sizes, a small number of trials)
+and prints the same rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The figure harnesses are executed exactly once per session
+(``benchmark.pedantic(rounds=1)``) because a single data point already
+aggregates several simulated trials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Benchmark-scale experiment configuration (2 trials per data point)."""
+    return ExperimentConfig(trials=2, seed=2019, warmup_tasks=50, cooldown_tasks=50)
+
+
+@pytest.fixture(scope="session")
+def smoke_config() -> ExperimentConfig:
+    """Small configuration for the micro/ablation benches."""
+    return ExperimentConfig(trials=1, seed=2019, warmup_tasks=25, cooldown_tasks=25, task_scale=0.6)

@@ -1,0 +1,147 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation runs the same oversubscribed workload with one mechanism
+toggled, quantifying how much of PAM's advantage comes from deferring,
+dropping, the dynamic per-task threshold (Eq. 7), impulse aggregation, and
+the system's automatic eviction of overdue executing tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import workload_for_level
+from repro.experiments.runner import run_series
+from repro.heuristics.pam import PruningAwareMapper
+from repro.pet.builders import build_spec_pet
+from repro.pruning.thresholds import PruningThresholds
+
+
+@pytest.fixture(scope="module")
+def pet():
+    return build_spec_pet(rng=2019)
+
+
+def _run(pet, config, *, label, factory, evict=True):
+    return run_series(
+        label=label,
+        pet=pet,
+        heuristic_factory=factory,
+        workload=workload_for_level("34k", config),
+        config=config,
+        evict_executing_at_deadline=evict,
+    )
+
+
+def test_bench_ablation_pruning_stages(benchmark, pet, smoke_config):
+    """Deferring-only vs dropping-only vs both vs neither."""
+
+    variants = {
+        "defer+drop": dict(enable_deferring=True, enable_dropping=True),
+        "defer-only": dict(enable_deferring=True, enable_dropping=False),
+        "drop-only": dict(enable_deferring=False, enable_dropping=True),
+        "neither": dict(enable_deferring=False, enable_dropping=False),
+    }
+
+    def run_all():
+        return {
+            name: _run(
+                pet,
+                smoke_config,
+                label=name,
+                factory=lambda kwargs=kwargs: PruningAwareMapper(**kwargs),
+            ).mean_robustness()
+            for name, kwargs in variants.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, robustness in results.items():
+        print(f"  ablation {name:<12} robustness {robustness:6.2f}%")
+    # Deferring is the dominant contributor; the full mechanism should not be
+    # worse than running with no pruning at all.
+    assert results["defer+drop"] >= results["neither"] - 2.0
+    assert results["defer-only"] >= results["neither"] - 2.0
+    benchmark.extra_info.update(results)
+
+
+def test_bench_ablation_dynamic_threshold(benchmark, pet, smoke_config):
+    """Eq. 7 per-task threshold adjustment on vs off."""
+
+    def run_both():
+        dynamic = _run(
+            pet,
+            smoke_config,
+            label="dynamic",
+            factory=lambda: PruningAwareMapper(PruningThresholds(dynamic_per_task=True)),
+        ).mean_robustness()
+        static = _run(
+            pet,
+            smoke_config,
+            label="static",
+            factory=lambda: PruningAwareMapper(PruningThresholds(dynamic_per_task=False)),
+        ).mean_robustness()
+        return {"dynamic": dynamic, "static": static}
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(f"  dynamic per-task threshold {results['dynamic']:.2f}% vs static {results['static']:.2f}%")
+    assert abs(results["dynamic"] - results["static"]) < 30.0
+    benchmark.extra_info.update(results)
+
+
+def test_bench_ablation_impulse_aggregation(benchmark, pet, smoke_config):
+    """Impulse-aggregation cap: accuracy/cost trade-off (Section IV remark)."""
+    from dataclasses import replace
+
+    def run_levels():
+        out = {}
+        for cap in (8, 32, 128):
+            config = replace(smoke_config, max_impulses=cap)
+            out[f"max_impulses={cap}"] = _run(
+                pet,
+                config,
+                label=f"cap{cap}",
+                factory=lambda: PruningAwareMapper(),
+            ).mean_robustness()
+        return out
+
+    results = benchmark.pedantic(run_levels, rounds=1, iterations=1)
+    print()
+    for name, robustness in results.items():
+        print(f"  {name:<18} robustness {robustness:6.2f}%")
+    values = list(results.values())
+    assert max(values) - min(values) < 25.0, "aggregation level should not dominate the outcome"
+    benchmark.extra_info.update(results)
+
+
+def test_bench_ablation_no_automatic_eviction(benchmark, pet, smoke_config):
+    """System semantics: with automatic deadline eviction disabled, pruning
+    becomes the only defence against wasted work and PAM's advantage grows."""
+    from repro.heuristics.registry import make_heuristic
+
+    def run_both_systems():
+        out = {}
+        for evict in (True, False):
+            pam = _run(
+                pet, smoke_config, label="pam", factory=lambda: PruningAwareMapper(), evict=evict
+            ).mean_robustness()
+            mm = _run(
+                pet,
+                smoke_config,
+                label="mm",
+                factory=lambda: make_heuristic("MM"),
+                evict=evict,
+            ).mean_robustness()
+            out[f"evict={evict}"] = {"PAM": pam, "MM": mm}
+        return out
+
+    results = benchmark.pedantic(run_both_systems, rounds=1, iterations=1)
+    print()
+    for system, values in results.items():
+        print(f"  {system:<12} PAM {values['PAM']:6.2f}%  MM {values['MM']:6.2f}%")
+    gap_with_eviction = results["evict=True"]["PAM"] - results["evict=True"]["MM"]
+    gap_without = results["evict=False"]["PAM"] - results["evict=False"]["MM"]
+    assert gap_without >= gap_with_eviction - 5.0
+    benchmark.extra_info["gap_with_eviction"] = gap_with_eviction
+    benchmark.extra_info["gap_without_eviction"] = gap_without

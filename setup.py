@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments without the ``wheel``
+package / network access (offline ``pip install -e . --no-build-isolation``
+or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Robust Dynamic Resource Allocation via
+Probabilistic Task Pruning in Heterogeneous Computing Systems"
+(Gentry, Denninnart, Amini Salehi, 2019).
+
+The package is organised bottom-up:
+
+* :mod:`repro.core` — discrete PMF algebra, completion-time model under task
+  dropping (Eqs. 2-5) and robustness (Eq. 1);
+* :mod:`repro.pet` — the Probabilistic Execution Time matrix and its builders;
+* :mod:`repro.workload` — arrival/deadline generation (Section VI-B);
+* :mod:`repro.simulator` — the event-driven oversubscribed HC system;
+* :mod:`repro.pruning` — dropping/deferring thresholds, oversubscription
+  detection, fairness (Section V);
+* :mod:`repro.heuristics` — PAM, PAMF and the four baseline mappers;
+* :mod:`repro.experiments` — drivers regenerating every evaluation figure.
+
+Quickstart::
+
+    import repro
+
+    pet = repro.build_spec_pet(rng=1)
+    trace = repro.generate_workload(
+        repro.WorkloadConfig(num_tasks=400, time_span=4000), pet, rng=2
+    )
+    result = repro.simulate(pet, repro.make_heuristic("PAM"), trace, rng=3)
+    print(result.robustness_percent())
+"""
+
+from .core import (
+    DiscretePMF,
+    DroppingPolicy,
+    completion_pmf,
+    queue_completion_pmfs,
+    robustness_of_pct,
+    success_probability,
+)
+from .heuristics import (
+    HEURISTIC_NAMES,
+    FairPruningMapper,
+    MappingHeuristic,
+    MaxOntimeCompletions,
+    MinCompletionMaxUrgency,
+    MinCompletionMinCompletion,
+    MinCompletionSoonestDeadline,
+    PruningAwareMapper,
+    make_heuristic,
+)
+from .pet import (
+    PETMatrix,
+    build_pet_from_means,
+    build_spec_pet,
+    build_transcoding_pet,
+)
+from .pruning import (
+    OversubscriptionDetector,
+    Pruner,
+    PruningThresholds,
+    SufferageTracker,
+)
+from .simulator import (
+    HCSimulator,
+    SimulationResult,
+    SimulatorConfig,
+    simulate,
+)
+from .workload import TaskSpec, WorkloadConfig, WorkloadTrace, generate_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DiscretePMF",
+    "DroppingPolicy",
+    "completion_pmf",
+    "queue_completion_pmfs",
+    "robustness_of_pct",
+    "success_probability",
+    # pet
+    "PETMatrix",
+    "build_pet_from_means",
+    "build_spec_pet",
+    "build_transcoding_pet",
+    # workload
+    "TaskSpec",
+    "WorkloadConfig",
+    "WorkloadTrace",
+    "generate_workload",
+    # simulator
+    "HCSimulator",
+    "SimulatorConfig",
+    "SimulationResult",
+    "simulate",
+    # pruning
+    "Pruner",
+    "PruningThresholds",
+    "OversubscriptionDetector",
+    "SufferageTracker",
+    # heuristics
+    "MappingHeuristic",
+    "PruningAwareMapper",
+    "FairPruningMapper",
+    "MaxOntimeCompletions",
+    "MinCompletionMinCompletion",
+    "MinCompletionSoonestDeadline",
+    "MinCompletionMaxUrgency",
+    "HEURISTIC_NAMES",
+    "make_heuristic",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface for the reproduction.
+
+Two subcommands cover the common workflows:
+
+``simulate``
+    Run one workload trial with a chosen heuristic and print the headline
+    metrics (robustness, cost, outcome breakdown).
+
+``figure``
+    Regenerate one of the paper's evaluation figures (4-9) and print the
+    table of series; optionally write text/CSV/JSON artefacts.
+
+Examples::
+
+    python -m repro.cli simulate --heuristic PAM --tasks 500 --span 2500
+    python -m repro.cli figure 7 --trials 2
+    python -m repro.cli figure 9 --trials 3 --output-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from . import (
+    WorkloadConfig,
+    build_spec_pet,
+    build_transcoding_pet,
+    generate_workload,
+    make_heuristic,
+    simulate,
+)
+from .experiments import (
+    ExperimentConfig,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from .experiments.reporting import save_figure_result
+from .heuristics.registry import HEURISTIC_NAMES
+
+__all__ = ["main", "build_parser"]
+
+#: Figure number -> (driver, CSV headers)
+_FIGURES: dict[int, tuple[Callable[..., object], list[str]]] = {
+    4: (run_fig4, ["lambda", "default robustness %", "default ci95", "schmitt robustness %", "schmitt ci95"]),
+    5: (run_fig5, ["drop threshold %", "defer threshold %", "robustness %", "ci95"]),
+    6: (run_fig6, ["level", "fairness factor %", "variance of type completion %", "robustness %", "ci95"]),
+    7: (run_fig7, ["level", "heuristic", "robustness %", "ci95"]),
+    8: (run_fig8, ["level", "heuristic", "total cost", "robustness %", "cost / percent on-time"]),
+    9: (run_fig9, ["level", "heuristic", "robustness %", "ci95"]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Robust Dynamic Resource Allocation via "
+        "Probabilistic Task Pruning in Heterogeneous Computing Systems'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sim = subparsers.add_parser("simulate", help="run one workload trial")
+    sim.add_argument("--heuristic", default="PAM", choices=sorted(HEURISTIC_NAMES))
+    sim.add_argument("--tasks", type=int, default=500, help="number of arriving tasks")
+    sim.add_argument("--span", type=int, default=2500, help="arrival window in time units")
+    sim.add_argument("--beta", type=float, default=1.5, help="deadline slack coefficient")
+    sim.add_argument("--seed", type=int, default=2019)
+    sim.add_argument(
+        "--workload",
+        choices=("spec", "transcoding"),
+        default="spec",
+        help="which PET matrix / system to simulate",
+    )
+    sim.add_argument("--warmup", type=int, default=50, help="tasks trimmed from the head")
+    sim.add_argument("--cooldown", type=int, default=50, help="tasks trimmed from the tail")
+
+    fig = subparsers.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("number", type=int, choices=sorted(_FIGURES), help="figure number (4-9)")
+    fig.add_argument("--trials", type=int, default=2, help="workload trials per data point")
+    fig.add_argument("--seed", type=int, default=2019)
+    fig.add_argument("--task-scale", type=float, default=1.0, help="scale factor on task counts")
+    fig.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
+
+    return parser
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    if args.workload == "spec":
+        pet = build_spec_pet(rng=args.seed)
+    else:
+        pet = build_transcoding_pet(rng=args.seed)
+    workload = WorkloadConfig(num_tasks=args.tasks, time_span=args.span, beta=args.beta)
+    trace = generate_workload(workload, pet, rng=args.seed + 1)
+    heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
+    result = simulate(pet, heuristic, trace, rng=args.seed + 2)
+
+    print(f"heuristic          : {args.heuristic}")
+    print(f"tasks / span       : {args.tasks} / {args.span} (load {trace.offered_load(pet):.2f}x)")
+    print(
+        "robustness         : "
+        f"{result.robustness_percent(warmup=args.warmup, cooldown=args.cooldown):.2f}% on time"
+    )
+    print(f"total cost         : {result.total_cost():.3f}")
+    print(
+        "cost / percent     : "
+        f"{result.cost_per_percent_on_time(warmup=args.warmup, cooldown=args.cooldown):.4f}"
+    )
+    print(
+        "fairness variance  : "
+        f"{result.fairness_variance(warmup=args.warmup, cooldown=args.cooldown):.2f}"
+    )
+    print("outcomes:")
+    for outcome, count in sorted(result.status_counts().items()):
+        print(f"  {outcome:<28} {count}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    driver, headers = _FIGURES[args.number]
+    config = ExperimentConfig(trials=args.trials, seed=args.seed, task_scale=args.task_scale)
+    result = driver(config)
+    print(result.to_text())
+    if args.output_dir is not None:
+        paths = save_figure_result(result, headers, args.output_dir, name=f"figure{args.number}")
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Completion-time PMFs in the presence of task dropping (paper Section IV).
+
+Given the execution-time PMF of a task (a PET entry) and the completion-time
+PMF (PCT) of the task immediately ahead of it in a machine queue, this module
+computes the task's own completion-time PMF under the three dropping regimes
+of the paper:
+
+* :func:`pct_no_drop` — Eq. 2, plain convolution, every mapped task runs to
+  completion.
+* :func:`pct_pending_drop` — Eqs. 3-4, a *pending* task is dropped when its
+  deadline passes before it starts; the machine then becomes free when the
+  predecessor finishes.
+* :func:`pct_evict_drop` — Eq. 5, *any* task (including the executing one) is
+  dropped at its deadline; all residual mass collapses onto the deadline.
+
+Throughout, the returned PMF is best read as "the time at which the machine
+becomes available after dealing with this task" — which equals the task's
+completion time whenever the task actually completes.  This is exactly the
+quantity that must be convolved with the next task's PET (the paper re-uses
+the symbol PCT for it).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from .pmf import DiscretePMF
+
+__all__ = [
+    "DroppingPolicy",
+    "pct_no_drop",
+    "pct_pending_drop",
+    "pct_evict_drop",
+    "completion_pmf",
+    "queue_completion_pmfs",
+    "start_pmf_for_idle_machine",
+]
+
+
+class DroppingPolicy(enum.Enum):
+    """Which tasks the system is allowed to drop (Section IV, cases A-C)."""
+
+    #: Case A — no task is ever dropped once mapped.
+    NONE = "none"
+    #: Case B — only tasks that have not started executing may be dropped.
+    PENDING = "pending"
+    #: Case C — any task, including the executing one, may be dropped
+    #: (evicted) once its deadline passes.
+    EVICT = "evict"
+
+
+def start_pmf_for_idle_machine(current_time: int) -> DiscretePMF:
+    """Availability PMF of an idle machine: a unit impulse at ``current_time``.
+
+    Convolving a PET entry with this point mass is the "shift by the arrival
+    time" of Section IV.
+    """
+    return DiscretePMF.point(int(current_time))
+
+
+def pct_no_drop(pet: DiscretePMF, prev_pct: DiscretePMF) -> DiscretePMF:
+    """Eq. 2 — completion time when no mapped task can be dropped.
+
+    ``PCT(i, j) = PET(i, j) * PCT(i-1, j)`` (discrete convolution).
+    """
+    return pet.convolve(prev_pct).compact()
+
+
+def pct_pending_drop(pet: DiscretePMF, prev_pct: DiscretePMF, deadline: int) -> DiscretePMF:
+    """Eqs. 3-4 — completion time when pending tasks can be dropped.
+
+    If the predecessor finishes at or after ``deadline`` the task never
+    starts (it is dropped while pending), so the machine becomes available
+    exactly when the predecessor finishes.  Otherwise the task executes
+    normally.  In PMF terms:
+
+    * convolve the PET with the predecessor's PCT *truncated strictly below*
+      the deadline (the helper ``f(t, k)`` of Eq. 3),
+    * add back the predecessor's mass at or after the deadline unchanged
+      (the ``c_pend(i-1,j)(t)`` pass-through term of Eq. 4).
+    """
+    started = prev_pct.truncate_before(deadline)
+    dropped = prev_pct.truncate_from(deadline)
+    result = pet.convolve(started) if not started.is_zero() else DiscretePMF.zero()
+    if not dropped.is_zero():
+        result = result.add(dropped)
+    return result.compact()
+
+
+def pct_evict_drop(pet: DiscretePMF, prev_pct: DiscretePMF, deadline: int) -> DiscretePMF:
+    """Eq. 5 — completion time when even the executing task can be dropped.
+
+    The task is guaranteed to leave the machine by its deadline: either it
+    completes before the deadline, or it is evicted exactly at the deadline.
+    Therefore all mass of the "task actually ran" branch that lands at or
+    after the deadline is aggregated into a single impulse at the deadline
+    (the task is killed the moment the deadline passes).  The predecessor
+    mass at or after the deadline — the case where the task is dropped while
+    still pending — is preserved at the predecessor's completion times, as
+    the paper notes those "discarded impulses ... must be added to C_ij".
+    """
+    started = prev_pct.truncate_before(deadline)
+    dropped_pending = prev_pct.truncate_from(deadline)
+    if started.is_zero():
+        ran = DiscretePMF.zero()
+    else:
+        ran = pet.convolve(started).collapse_tail_to(deadline)
+    result = ran
+    if not dropped_pending.is_zero():
+        result = result.add(dropped_pending)
+    return result.compact()
+
+
+def completion_pmf(
+    pet: DiscretePMF,
+    prev_pct: DiscretePMF,
+    deadline: int,
+    policy: DroppingPolicy = DroppingPolicy.EVICT,
+) -> DiscretePMF:
+    """Dispatch to the completion-time formula matching ``policy``."""
+    if policy is DroppingPolicy.NONE:
+        return pct_no_drop(pet, prev_pct)
+    if policy is DroppingPolicy.PENDING:
+        return pct_pending_drop(pet, prev_pct, deadline)
+    if policy is DroppingPolicy.EVICT:
+        return pct_evict_drop(pet, prev_pct, deadline)
+    raise ValueError(f"unknown dropping policy: {policy!r}")
+
+
+def queue_completion_pmfs(
+    pets: Sequence[DiscretePMF],
+    deadlines: Sequence[int],
+    *,
+    start: DiscretePMF,
+    policy: DroppingPolicy = DroppingPolicy.EVICT,
+    max_impulses: int | None = None,
+) -> list[DiscretePMF]:
+    """Propagate completion-time PMFs down an entire machine queue.
+
+    Parameters
+    ----------
+    pets:
+        Execution-time PMF of each queued task, head of the queue first.
+    deadlines:
+        Deadline of each queued task (same order).
+    start:
+        Availability PMF of the machine before the head task (a point mass at
+        the current time for an idle machine, or the remaining-work PMF of the
+        executing task).
+    policy:
+        Dropping regime used for the chain.
+    max_impulses:
+        Optional impulse-aggregation cap applied after every step, the
+        approximation the paper suggests to bound convolution cost.
+
+    Returns
+    -------
+    list of DiscretePMF
+        ``result[k]`` is the availability PMF of the machine after the k-th
+        queued task (equivalently that task's PCT when it completes).
+    """
+    if len(pets) != len(deadlines):
+        raise ValueError("pets and deadlines must have the same length")
+    out: list[DiscretePMF] = []
+    prev = start
+    for pet, deadline in zip(pets, deadlines):
+        prev = completion_pmf(pet, prev, int(deadline), policy)
+        if max_impulses is not None:
+            prev = prev.aggregate(max_impulses)
+        out.append(prev)
+    return out

@@ -1,0 +1,145 @@
+"""Multi-trial experiment runner (paper Section VII-A).
+
+Every data point in the paper is the mean (with 95 % confidence interval) of
+30 workload trials that share the arrival rate and pattern but use different
+arrival times.  :func:`run_series` reproduces that protocol: the PET matrix
+is built once per experiment (the paper keeps it "constant across all of our
+experiments"), each trial generates a fresh workload trace from an
+independent random stream and simulates it with a freshly built heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..heuristics.base import MappingHeuristic
+from ..pet.matrix import PETMatrix
+from ..simulator.engine import SimulatorConfig, simulate
+from ..simulator.metrics import SimulationResult
+from ..utils.stats import Summary, summarize
+from ..workload.generator import WorkloadConfig, generate_workload
+from .config import ExperimentConfig
+
+__all__ = ["TrialMetrics", "SeriesResult", "run_series"]
+
+HeuristicFactory = Callable[[], MappingHeuristic]
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Headline metrics of one simulated trial."""
+
+    robustness_percent: float
+    fairness_variance: float
+    total_cost: float
+    cost_per_percent_on_time: float
+    completed_on_time: int
+    total_tasks: int
+    per_type_completion_percent: tuple[float, ...]
+
+    @classmethod
+    def from_result(
+        cls, result: SimulationResult, *, warmup: int, cooldown: int
+    ) -> "TrialMetrics":
+        per_type = result.per_type_completion_percent(warmup=warmup, cooldown=cooldown)
+        return cls(
+            robustness_percent=result.robustness_percent(warmup=warmup, cooldown=cooldown),
+            fairness_variance=result.fairness_variance(warmup=warmup, cooldown=cooldown),
+            total_cost=result.total_cost(),
+            cost_per_percent_on_time=result.cost_per_percent_on_time(
+                warmup=warmup, cooldown=cooldown
+            ),
+            completed_on_time=result.completed_on_time(warmup=warmup, cooldown=cooldown),
+            total_tasks=len(result.tasks),
+            per_type_completion_percent=tuple(float(x) for x in per_type),
+        )
+
+
+@dataclass
+class SeriesResult:
+    """All trials of one experiment data point plus their summaries."""
+
+    label: str
+    trials: list[TrialMetrics] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def robustness(self) -> Summary:
+        return summarize([t.robustness_percent for t in self.trials])
+
+    def fairness_variance(self) -> Summary:
+        return summarize([t.fairness_variance for t in self.trials])
+
+    def cost(self) -> Summary:
+        return summarize([t.total_cost for t in self.trials])
+
+    def cost_per_percent(self) -> Summary:
+        values = [
+            t.cost_per_percent_on_time
+            for t in self.trials
+            if np.isfinite(t.cost_per_percent_on_time)
+        ]
+        return summarize(values)
+
+    def mean_robustness(self) -> float:
+        return self.robustness().mean
+
+    def as_row(self) -> dict[str, float | str]:
+        robustness = self.robustness()
+        fairness = self.fairness_variance()
+        cost = self.cost_per_percent()
+        return {
+            "label": self.label,
+            "robustness_mean": robustness.mean,
+            "robustness_ci95": robustness.ci95,
+            "fairness_variance_mean": fairness.mean,
+            "cost_per_percent_mean": cost.mean,
+            "trials": len(self.trials),
+        }
+
+
+def run_series(
+    *,
+    label: str,
+    pet: PETMatrix,
+    heuristic_factory: HeuristicFactory,
+    workload: WorkloadConfig,
+    config: ExperimentConfig,
+    machine_prices: Sequence[float] | None = None,
+    evict_executing_at_deadline: bool = True,
+) -> SeriesResult:
+    """Run ``config.trials`` workload trials for one experiment data point.
+
+    Trial *k* of any experiment is reproducible: the workload and execution
+    streams are derived from ``config.seed`` with ``SeedSequence.spawn`` so
+    different heuristics evaluated at the same data point see identical
+    arrival traces (paired comparison, as in the paper).
+    """
+    series = SeriesResult(label=label)
+    sim_config = SimulatorConfig(
+        queue_capacity=config.queue_capacity,
+        max_impulses=config.max_impulses,
+        evict_executing_at_deadline=evict_executing_at_deadline,
+    )
+    master = np.random.SeedSequence(config.seed)
+    children = master.spawn(config.trials)
+    for trial_index in range(config.trials):
+        workload_seed, execution_seed = children[trial_index].spawn(2)
+        trace = generate_workload(workload, pet, rng=np.random.default_rng(workload_seed))
+        heuristic = heuristic_factory()
+        result = simulate(
+            pet,
+            heuristic,
+            trace,
+            config=sim_config,
+            machine_prices=machine_prices,
+            rng=np.random.default_rng(execution_seed),
+        )
+        series.trials.append(
+            TrialMetrics.from_result(
+                result, warmup=config.warmup_tasks, cooldown=config.cooldown_tasks
+            )
+        )
+    return series

@@ -1,0 +1,38 @@
+"""Mapping heuristics: the paper's PAM/PAMF and the four baselines."""
+
+from .base import (
+    CandidatePair,
+    MappingHeuristic,
+    TwoPhaseBatchHeuristic,
+    VirtualMachine,
+    VirtualSystemState,
+)
+from .baselines import (
+    MaxOntimeCompletions,
+    MinCompletionMaxUrgency,
+    MinCompletionMinCompletion,
+    MinCompletionSoonestDeadline,
+)
+from .pam import PruningAwareMapper
+from .pamf import FairPruningMapper
+from .registry import HEURISTIC_NAMES, make_heuristic
+from .scoring import expected_completion, fast_success_probability, urgency
+
+__all__ = [
+    "MappingHeuristic",
+    "TwoPhaseBatchHeuristic",
+    "CandidatePair",
+    "VirtualMachine",
+    "VirtualSystemState",
+    "MinCompletionMinCompletion",
+    "MinCompletionSoonestDeadline",
+    "MinCompletionMaxUrgency",
+    "MaxOntimeCompletions",
+    "PruningAwareMapper",
+    "FairPruningMapper",
+    "HEURISTIC_NAMES",
+    "make_heuristic",
+    "fast_success_probability",
+    "expected_completion",
+    "urgency",
+]

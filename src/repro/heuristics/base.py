@@ -1,0 +1,361 @@
+"""Two-phase batch mapping framework (paper Section V-D / VI-C).
+
+All six heuristics evaluated in the paper share the same skeleton:
+
+* a *virtual queue* mirrors the real machine queues during the mapping event;
+* **phase 1** finds, for every unmapped task, the best machine according to
+  the heuristic's objective (minimum expected completion time for MM/MSD/MMU,
+  maximum robustness for MOC/PAM/PAMF);
+* **phase 2** picks one provisional (task, machine) pair, commits it to the
+  virtual queue, and the process repeats until the virtual queues are full or
+  the batch queue is exhausted;
+* pruning-aware heuristics additionally drop queued tasks before mapping and
+  defer batch tasks whose best robustness is too low.
+
+Subclasses only implement small hooks; the iteration, virtual-queue
+bookkeeping and decision assembly live here.  Phase-1 scores are held in a
+vectorised :class:`ScoreTable` (robustness and expected-completion matrices
+over task x machine) so that a mapping event costs a handful of NumPy
+operations per machine column rather than a Python loop per candidate pair —
+the "vectorise the inner loop" idiom of the HPC-Python guides.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.completion import DroppingPolicy, completion_pmf
+from ..core.pmf import DiscretePMF
+from ..pet.matrix import PETMatrix
+from ..simulator.mapping import MappingContext, MappingDecision
+from ..simulator.task import Task
+
+__all__ = [
+    "CandidatePair",
+    "VirtualMachine",
+    "VirtualSystemState",
+    "ScoreTable",
+    "MappingHeuristic",
+    "TwoPhaseBatchHeuristic",
+]
+
+
+@dataclass
+class CandidatePair:
+    """A provisional (task, machine) pairing produced by phase 1."""
+
+    task: Task
+    machine_index: int
+    #: Expected completion time of the task on the machine's virtual queue.
+    expected_completion: float
+    #: Probability of meeting the deadline on that virtual queue (robustness).
+    robustness: float
+    #: Mean execution time of the task's type on the machine (tie-breaker).
+    mean_execution: float
+
+
+@dataclass
+class VirtualMachine:
+    """Virtual-queue state of one machine during a mapping event."""
+
+    index: int
+    free_slots: int
+    availability: DiscretePMF
+
+    @property
+    def has_free_slot(self) -> bool:
+        return self.free_slots > 0
+
+
+class VirtualSystemState:
+    """Virtual machine queues built at the start of a mapping event.
+
+    The virtual state starts from the real queues (optionally with the
+    pruner's drops already removed) and is updated as phase 2 commits
+    assignments, so later phase-1 evaluations see the provisional mappings —
+    the "temporary (virtual) queue of machine-task mappings" of Section III.
+    """
+
+    def __init__(
+        self,
+        context: MappingContext,
+        *,
+        dropped_task_ids: frozenset[int] | set[int] = frozenset(),
+        availability_override: dict[int, DiscretePMF] | None = None,
+    ) -> None:
+        self._context = context
+        self._policy = context.policy
+        self._pet: PETMatrix = context.pet
+        self._max_impulses = context.max_impulses
+        dropped = set(dropped_task_ids)
+        override = availability_override or {}
+        self.machines: list[VirtualMachine] = []
+        for machine in context.machines:
+            queued = machine.queued_tasks()
+            kept = [t for t in queued if t.task_id not in dropped]
+            free = machine.queue_capacity - len(kept)
+            if machine.index in override:
+                availability = override[machine.index]
+            elif len(kept) == len(queued):
+                availability = context.machine_availability(machine.index)
+            else:
+                availability = self._availability_excluding(machine, kept)
+            self.machines.append(VirtualMachine(machine.index, free, availability))
+
+    # ------------------------------------------------------------------
+    def _availability_excluding(self, machine, kept_tasks) -> DiscretePMF:
+        """Recompute a machine's availability chain for a subset of its queue."""
+        now = self._context.now
+        prev = DiscretePMF.point(now)
+        tasks = list(kept_tasks)
+        if machine.executing is not None and tasks and tasks[0] is machine.executing:
+            prev = machine.executing_completion_pmf(
+                self._pet,
+                now,
+                condition_on_now=self._context.condition_executing_on_now,
+            )
+            if self._policy is DroppingPolicy.EVICT:
+                prev = prev.collapse_tail_to(max(machine.executing.deadline, now + 1))
+            tasks = tasks[1:]
+        for task in tasks:
+            pet_entry = self._pet.get(task.task_type, machine.index)
+            prev = completion_pmf(pet_entry, prev, task.deadline, self._policy)
+            if self._max_impulses is not None:
+                prev = prev.aggregate(self._max_impulses)
+        return prev
+
+    # ------------------------------------------------------------------
+    @property
+    def total_free_slots(self) -> int:
+        return sum(m.free_slots for m in self.machines)
+
+    def machines_with_free_slots(self) -> list[VirtualMachine]:
+        return [m for m in self.machines if m.has_free_slot]
+
+    def availability(self, machine_index: int) -> DiscretePMF:
+        return self.machines[machine_index].availability
+
+    def assign(self, task: Task, machine_index: int) -> None:
+        """Commit a provisional mapping to the virtual queue."""
+        vm = self.machines[machine_index]
+        if not vm.has_free_slot:
+            raise RuntimeError(f"virtual machine {machine_index} has no free slot")
+        pet_entry = self._pet.get(task.task_type, machine_index)
+        availability = completion_pmf(pet_entry, vm.availability, task.deadline, self._policy)
+        if self._max_impulses is not None:
+            availability = availability.aggregate(self._max_impulses)
+        vm.availability = availability
+        vm.free_slots -= 1
+
+
+class ScoreTable:
+    """Vectorised phase-1 scores for every (batch task, machine) pair.
+
+    ``robustness[i, j]`` is the probability that task ``i`` meets its
+    deadline if mapped to machine ``j``'s current virtual queue (Eq. 1 on the
+    availability x execution convolution, computed without materialising the
+    convolution); ``completion[i, j]`` is the expected completion time.
+    Columns are refreshed lazily: after phase 2 commits an assignment only
+    the affected machine's column is recomputed.
+    """
+
+    def __init__(
+        self,
+        context: MappingContext,
+        virtual: VirtualSystemState,
+        tasks: list[Task],
+    ) -> None:
+        self._context = context
+        self._pet = context.pet
+        self.tasks = list(tasks)
+        self.n = len(self.tasks)
+        self.m = len(context.machines)
+        self.deadlines = np.array([t.deadline for t in self.tasks], dtype=np.int64)
+        self.types = np.array([t.task_type for t in self.tasks], dtype=np.int64)
+        self.active = np.ones(self.n, dtype=bool)
+        self._index_of = {t.task_id: i for i, t in enumerate(self.tasks)}
+        self.mean_execution = self._pet.mean_execution_times()[self.types, :]
+        self.robustness = np.full((self.n, self.m), -1.0, dtype=np.float64)
+        self.completion = np.full((self.n, self.m), np.inf, dtype=np.float64)
+        self.machine_open = np.zeros(self.m, dtype=bool)
+        for vm in virtual.machines:
+            self.refresh_machine(vm.index, virtual)
+
+    # ------------------------------------------------------------------
+    def refresh_machine(self, machine_index: int, virtual: VirtualSystemState) -> None:
+        """Recompute one machine's scores against all tasks."""
+        vm = virtual.machines[machine_index]
+        if not vm.has_free_slot:
+            self.machine_open[machine_index] = False
+            self.robustness[:, machine_index] = -1.0
+            self.completion[:, machine_index] = np.inf
+            return
+        self.machine_open[machine_index] = True
+        if self.n == 0:
+            return
+        availability = vm.availability
+        nz = np.nonzero(availability.probs)[0]
+        if nz.size == 0:
+            self.robustness[:, machine_index] = 0.0
+            self.completion[:, machine_index] = np.inf
+            return
+        start_times = availability.offset + nz
+        start_probs = availability.probs[nz]
+        expected_start = availability.mean()
+        self.completion[:, machine_index] = (
+            expected_start + self.mean_execution[:, machine_index]
+        )
+        col = np.zeros(self.n, dtype=np.float64)
+        for task_type in np.unique(self.types):
+            selector = self.types == task_type
+            exec_pmf = self._pet.get(int(task_type), machine_index)
+            cdf = exec_pmf.cumulative()
+            deadlines = self.deadlines[selector]
+            budgets = deadlines[:, None] - start_times[None, :] - exec_pmf.offset
+            idx = np.minimum(budgets, cdf.size - 1)
+            usable = (start_times[None, :] < deadlines[:, None]) & (idx >= 0)
+            success = np.where(usable, cdf[np.maximum(idx, 0)], 0.0)
+            col[selector] = np.minimum(1.0, success @ start_probs)
+        self.robustness[:, machine_index] = col
+
+    def deactivate(self, task_ids) -> None:
+        for task_id in task_ids:
+            index = self._index_of.get(task_id)
+            if index is not None:
+                self.active[index] = False
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    # ------------------------------------------------------------------
+    def best_pairs(self, *, robustness_based: bool) -> list[CandidatePair]:
+        """Phase 1: the best machine for every active task."""
+        if not self.any_active or not self.machine_open.any():
+            return []
+        active_idx = np.nonzero(self.active)[0]
+        robustness = self.robustness[active_idx, :]
+        completion = self.completion[active_idx, :]
+        mean_exec = self.mean_execution[active_idx, :]
+        if robustness_based:
+            primary = robustness
+            best_primary = primary.max(axis=1)
+            tie = primary == best_primary[:, None]
+            tiebreak = np.where(tie, completion, np.inf)
+            best_machine = tiebreak.argmin(axis=1)
+        else:
+            primary = completion
+            best_primary = primary.min(axis=1)
+            tie = primary == best_primary[:, None]
+            tiebreak = np.where(tie, mean_exec, np.inf)
+            best_machine = tiebreak.argmin(axis=1)
+        pairs: list[CandidatePair] = []
+        for row, machine_index in zip(active_idx.tolist(), best_machine.tolist()):
+            if not self.machine_open[machine_index]:
+                continue
+            if not np.isfinite(self.completion[row, machine_index]):
+                continue
+            pairs.append(
+                CandidatePair(
+                    task=self.tasks[row],
+                    machine_index=int(machine_index),
+                    expected_completion=float(self.completion[row, machine_index]),
+                    robustness=float(self.robustness[row, machine_index]),
+                    mean_execution=float(self.mean_execution[row, machine_index]),
+                )
+            )
+        return pairs
+
+
+class MappingHeuristic(abc.ABC):
+    """Interface the simulation engine drives at every mapping event."""
+
+    #: Short display name used in experiment reports ("PAM", "MM", ...).
+    name: str = "heuristic"
+
+    @abc.abstractmethod
+    def map_tasks(self, context: MappingContext) -> MappingDecision:
+        """Return the assignments/drops/deferrals for one mapping event."""
+
+    def reset(self) -> None:
+        """Clear any cross-event state before a new simulation run."""
+
+
+class TwoPhaseBatchHeuristic(MappingHeuristic):
+    """Shared two-phase mapping loop; subclasses provide the selection rules."""
+
+    #: Whether phase 1 scores pairs by robustness (True) or expected
+    #: completion time (False).  Robustness-based heuristics still record the
+    #: expected completion time for phase-2 tie-breaking.
+    robustness_based: bool = False
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_event_start(self, context: MappingContext) -> None:
+        """Called once per mapping event before anything else."""
+
+    def pre_mapping(
+        self, context: MappingContext, decision: MappingDecision
+    ) -> tuple[set[int], dict[int, DiscretePMF] | None]:
+        """Dropping stage hook.
+
+        Returns the set of task ids dropped from machine queues (already
+        recorded in ``decision``) plus, optionally, the post-drop machine
+        availability PMFs so the virtual state can skip recomputation.
+        """
+        return set(), None
+
+    def filter_candidates(
+        self,
+        pairs: list[CandidatePair],
+        context: MappingContext,
+        decision: MappingDecision,
+    ) -> tuple[list[CandidatePair], set[int]]:
+        """Deferring stage hook.
+
+        Returns the pairs to keep plus the ids of tasks to defer (removed
+        from this mapping event; they stay in the batch queue).
+        """
+        return pairs, set()
+
+    @abc.abstractmethod
+    def phase2_select(self, pairs: list[CandidatePair], context: MappingContext) -> CandidatePair:
+        """Pick the provisional pair to commit this iteration."""
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def map_tasks(self, context: MappingContext) -> MappingDecision:
+        decision = MappingDecision()
+        self.on_event_start(context)
+        dropped_ids, availability_override = self.pre_mapping(context, decision)
+        virtual = VirtualSystemState(
+            context,
+            dropped_task_ids=dropped_ids,
+            availability_override=availability_override,
+        )
+        tasks = list(context.batch)
+        if not tasks or virtual.total_free_slots == 0:
+            return decision
+        table = ScoreTable(context, virtual, tasks)
+
+        while table.any_active and virtual.total_free_slots > 0:
+            pairs = table.best_pairs(robustness_based=self.robustness_based)
+            if not pairs:
+                break
+            kept, deferred_ids = self.filter_candidates(pairs, context, decision)
+            table.deactivate(deferred_ids)
+            if not kept:
+                if not deferred_ids:
+                    break  # defensive: a filter must defer or keep something
+                continue
+            chosen = self.phase2_select(kept, context)
+            decision.assign(chosen.task, chosen.machine_index)
+            virtual.assign(chosen.task, chosen.machine_index)
+            table.deactivate([chosen.task.task_id])
+            table.refresh_machine(chosen.machine_index, virtual)
+        return decision

@@ -1,0 +1,137 @@
+"""Baseline mapping heuristics (paper Section VI-C).
+
+Four baselines from the literature are reproduced for the comparison figures:
+
+* **MM** — MinCompletion-MinCompletion (the classic MinMin batch heuristic).
+* **MSD** — MinCompletion-SoonestDeadline.
+* **MMU** — MinCompletion-MaxUrgency.
+* **MOC** — Max Ontime Completions, the robustness-based heuristic of
+  Salehi et al. [20] that PAM is closest to (it culls tasks below a 30 %
+  robustness threshold but never drops mapped tasks).
+
+All of them reuse the two-phase framework of
+:class:`repro.heuristics.base.TwoPhaseBatchHeuristic`; only phase-1 objective
+and phase-2 selection differ.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..simulator.mapping import MappingContext, MappingDecision
+from .base import CandidatePair, TwoPhaseBatchHeuristic
+from .scoring import urgency
+
+__all__ = [
+    "MinCompletionMinCompletion",
+    "MinCompletionSoonestDeadline",
+    "MinCompletionMaxUrgency",
+    "MaxOntimeCompletions",
+]
+
+
+class MinCompletionMinCompletion(TwoPhaseBatchHeuristic):
+    """MM: phase 1 minimum expected completion, phase 2 minimum completion.
+
+    Ties in phase 2 are broken by the shortest mean execution time, matching
+    the paper's description of the widely used MinMin heuristic.
+    """
+
+    name = "MM"
+    robustness_based = False
+
+    def phase2_select(self, pairs: list[CandidatePair], context: MappingContext) -> CandidatePair:
+        return min(pairs, key=lambda p: (p.expected_completion, p.mean_execution, p.task.task_id))
+
+
+class MinCompletionSoonestDeadline(TwoPhaseBatchHeuristic):
+    """MSD: phase 1 as MM, phase 2 picks the task with the soonest deadline."""
+
+    name = "MSD"
+    robustness_based = False
+
+    def phase2_select(self, pairs: list[CandidatePair], context: MappingContext) -> CandidatePair:
+        return min(
+            pairs,
+            key=lambda p: (p.task.deadline, p.expected_completion, p.task.task_id),
+        )
+
+
+class MinCompletionMaxUrgency(TwoPhaseBatchHeuristic):
+    """MMU: phase 1 as MM, phase 2 picks the pair with the greatest urgency.
+
+    Urgency is ``1 / (deadline - E[completion])``; pairs whose expected
+    completion already exceeds the deadline are treated as maximally urgent,
+    which reproduces the behaviour the paper criticises (MMU keeps picking
+    tasks that are least likely to succeed).
+    """
+
+    name = "MMU"
+    robustness_based = False
+
+    def phase2_select(self, pairs: list[CandidatePair], context: MappingContext) -> CandidatePair:
+        return max(
+            pairs,
+            key=lambda p: (
+                urgency(p.task.deadline, p.expected_completion),
+                -p.expected_completion,
+                -p.task.task_id,
+            ),
+        )
+
+
+class MaxOntimeCompletions(TwoPhaseBatchHeuristic):
+    """MOC: robustness-based baseline of Salehi et al. [20].
+
+    Phase 1 pairs every task with the machine offering the highest
+    robustness.  A culling phase removes (for this mapping event) the tasks
+    that cannot reach the 30 % robustness threshold on any machine.  The last
+    phase examines the three most robust provisional pairs, permutes their
+    assignment order, and commits the first assignment of the order that
+    maximises the summed robustness.
+    """
+
+    name = "MOC"
+    robustness_based = True
+
+    def __init__(self, *, culling_threshold: float = 0.30, permutation_depth: int = 3) -> None:
+        if not 0.0 <= culling_threshold <= 1.0:
+            raise ValueError("culling threshold must lie in [0, 1]")
+        if permutation_depth < 1:
+            raise ValueError("permutation depth must be at least one")
+        self.culling_threshold = float(culling_threshold)
+        self.permutation_depth = int(permutation_depth)
+
+    def filter_candidates(
+        self,
+        pairs: list[CandidatePair],
+        context: MappingContext,
+        decision: MappingDecision,
+    ) -> tuple[list[CandidatePair], set[int]]:
+        kept = [p for p in pairs if p.robustness >= self.culling_threshold]
+        culled = {p.task.task_id for p in pairs if p.robustness < self.culling_threshold}
+        return kept, culled
+
+    def phase2_select(self, pairs: list[CandidatePair], context: MappingContext) -> CandidatePair:
+        top = sorted(pairs, key=lambda p: (-p.robustness, p.expected_completion, p.task.task_id))
+        top = top[: self.permutation_depth]
+        if len(top) == 1:
+            return top[0]
+        best_order: tuple[CandidatePair, ...] | None = None
+        best_score = float("-inf")
+        for order in itertools.permutations(top):
+            # Approximate the interaction between the top pairs: a pair whose
+            # machine was already taken earlier in the order contributes a
+            # discounted robustness (it would be queued behind the earlier
+            # assignment).
+            used: dict[int, int] = {}
+            score = 0.0
+            for pair in order:
+                depth = used.get(pair.machine_index, 0)
+                score += pair.robustness / (depth + 1)
+                used[pair.machine_index] = depth + 1
+            if score > best_score:
+                best_score = score
+                best_order = order
+        assert best_order is not None
+        return best_order[0]

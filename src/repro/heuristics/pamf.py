@@ -1,0 +1,51 @@
+"""PAMF — the Fair Pruning Mapper (paper Section V-D2).
+
+PAMF is PAM plus fairness across task types: a per-type *sufferage* value is
+raised every time a task of that type misses its deadline (or is pruned) and
+lowered every time one completes on time.  The sufferage value is subtracted
+from the base pruning thresholds, so task types that have been suffering from
+pruning get a relaxed threshold and are protected from further pruning.
+"""
+
+from __future__ import annotations
+
+from ..pruning.fairness import SufferageTracker
+from ..pruning.oversubscription import OversubscriptionDetector
+from ..pruning.pruner import Pruner
+from ..pruning.thresholds import PruningThresholds
+from .pam import PruningAwareMapper
+
+__all__ = ["FairPruningMapper"]
+
+
+class FairPruningMapper(PruningAwareMapper):
+    """The PAMF heuristic: PAM with sufferage-based threshold relaxation."""
+
+    name = "PAMF"
+
+    def __init__(
+        self,
+        num_task_types: int,
+        thresholds: PruningThresholds | None = None,
+        *,
+        fairness_factor: float = 0.05,
+        detector: OversubscriptionDetector | None = None,
+        enable_dropping: bool = True,
+        enable_deferring: bool = True,
+    ) -> None:
+        fairness = SufferageTracker(num_task_types, fairness_factor=fairness_factor)
+        pruner = Pruner(
+            thresholds or PruningThresholds(),
+            detector=detector,
+            fairness=fairness,
+        )
+        super().__init__(
+            pruner=pruner,
+            enable_dropping=enable_dropping,
+            enable_deferring=enable_deferring,
+        )
+        self.fairness = fairness
+
+    @property
+    def fairness_factor(self) -> float:
+        return self.fairness.fairness_factor

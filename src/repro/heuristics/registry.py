@@ -1,0 +1,74 @@
+"""Registry of the mapping heuristics evaluated in the paper.
+
+The experiment drivers refer to heuristics by their paper names ("PAM",
+"PAMF", "MOC", "MM", "MSD", "MMU"); :func:`make_heuristic` builds a fresh,
+independently configured instance for each simulation trial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..pruning.thresholds import PruningThresholds
+from .base import MappingHeuristic
+from .baselines import (
+    MaxOntimeCompletions,
+    MinCompletionMaxUrgency,
+    MinCompletionMinCompletion,
+    MinCompletionSoonestDeadline,
+)
+from .pam import PruningAwareMapper
+from .pamf import FairPruningMapper
+
+__all__ = ["HEURISTIC_NAMES", "make_heuristic"]
+
+#: Paper names of all evaluated heuristics, in the order of Figure 7's legend.
+HEURISTIC_NAMES: tuple[str, ...] = ("PAM", "PAMF", "MOC", "MM", "MSD", "MMU")
+
+
+def make_heuristic(
+    name: str,
+    *,
+    num_task_types: int | None = None,
+    thresholds: PruningThresholds | None = None,
+    fairness_factor: float = 0.05,
+    **kwargs,
+) -> MappingHeuristic:
+    """Build a heuristic by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`HEURISTIC_NAMES` (case-insensitive).
+    num_task_types:
+        Required for ``PAMF`` (the sufferage tracker is per task type).
+    thresholds:
+        Pruning thresholds for ``PAM``/``PAMF`` (defaults to the paper's
+        50 % dropping / 90 % deferring configuration).
+    fairness_factor:
+        PAMF fairness factor (paper default 5 %).
+    kwargs:
+        Extra keyword arguments forwarded to the heuristic constructor.
+    """
+    key = name.strip().upper()
+    simple: dict[str, Callable[[], MappingHeuristic]] = {
+        "MM": MinCompletionMinCompletion,
+        "MSD": MinCompletionSoonestDeadline,
+        "MMU": MinCompletionMaxUrgency,
+    }
+    if key in simple:
+        return simple[key](**kwargs)
+    if key == "MOC":
+        return MaxOntimeCompletions(**kwargs)
+    if key == "PAM":
+        return PruningAwareMapper(thresholds, **kwargs)
+    if key == "PAMF":
+        if num_task_types is None:
+            raise ValueError("PAMF requires num_task_types for its sufferage tracker")
+        return FairPruningMapper(
+            num_task_types,
+            thresholds,
+            fairness_factor=fairness_factor,
+            **kwargs,
+        )
+    raise KeyError(f"unknown heuristic {name!r}; expected one of {HEURISTIC_NAMES}")

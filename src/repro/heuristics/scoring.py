@@ -1,0 +1,78 @@
+"""Fast scoring primitives shared by the mapping heuristics.
+
+Phase 1 of every batch heuristic evaluates each unmapped task against every
+machine.  Doing a full completion-time convolution for each candidate pair
+would dominate the simulation cost, so this module provides vectorised
+shortcuts:
+
+* :func:`fast_success_probability` computes P(start + execution <= deadline)
+  directly from the machine-availability impulses and the execution-time
+  CDF — mathematically identical to Eq. 1 on the convolved PMF but O(|avail|
+  x 1) instead of O(|avail| x |exec|).
+* :func:`expected_completion` uses linearity of expectation instead of
+  convolving.
+
+The expensive convolution is only performed once a pair is actually committed
+to a virtual queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pmf import DiscretePMF
+
+__all__ = ["fast_success_probability", "expected_completion", "urgency"]
+
+
+def fast_success_probability(
+    exec_pmf: DiscretePMF, availability: DiscretePMF, deadline: int
+) -> float:
+    """Probability that a task mapped behind ``availability`` meets ``deadline``.
+
+    Equivalent to convolving the availability and execution PMFs and applying
+    Eq. 1, but computed as
+
+        sum_t  P(available at t) * P(execution <= deadline - t)
+
+    restricted to start times strictly before the deadline (a task starting
+    at or after its deadline can never succeed because execution takes at
+    least one time unit).
+    """
+    deadline = int(deadline)
+    nz = np.nonzero(availability.probs)[0]
+    if nz.size == 0:
+        return 0.0
+    start_times = availability.offset + nz
+    start_probs = availability.probs[nz]
+    usable = start_times < deadline
+    if not np.any(usable):
+        return 0.0
+    start_times = start_times[usable]
+    start_probs = start_probs[usable]
+
+    exec_cdf = exec_pmf.cumulative()
+    budgets = deadline - start_times - exec_pmf.offset
+    # budgets < 0  -> no chance; budgets >= len -> certain (full exec mass)
+    idx = np.clip(budgets, -1, exec_cdf.size - 1)
+    completion_prob = np.where(idx >= 0, exec_cdf[np.maximum(idx, 0)], 0.0)
+    return float(min(1.0, np.dot(start_probs, completion_prob)))
+
+
+def expected_completion(exec_pmf: DiscretePMF, availability: DiscretePMF) -> float:
+    """Expected completion time: E[availability] + E[execution]."""
+    return float(availability.mean() + exec_pmf.mean())
+
+
+def urgency(deadline: int, expected_completion_time: float) -> float:
+    """MMU urgency U = 1 / (deadline - E[completion]) (Section VI-C3).
+
+    Tasks whose expected completion already exceeds their deadline are the
+    "least likely to succeed" tasks the paper criticises MMU for favouring;
+    they are treated as maximally urgent (``inf``) so the reproduction keeps
+    that behaviour.
+    """
+    gap = float(deadline) - float(expected_completion_time)
+    if gap <= 0:
+        return float("inf")
+    return 1.0 / gap

@@ -1,0 +1,33 @@
+"""Probabilistic Execution Time (PET) matrix and its builders."""
+
+from .builders import (
+    TRANSCODING_MACHINE_NAMES,
+    TRANSCODING_MEAN_EXECUTION_TIMES,
+    TRANSCODING_TASK_TYPES,
+    build_pet_from_means,
+    build_spec_pet,
+    build_transcoding_pet,
+    gamma_execution_pmf,
+)
+from .matrix import PETMatrix
+from .spec_data import (
+    SPEC_MACHINE_NAMES,
+    SPEC_MEAN_EXECUTION_TIMES,
+    SPEC_TASK_TYPE_NAMES,
+    spec_mean_matrix,
+)
+
+__all__ = [
+    "PETMatrix",
+    "build_pet_from_means",
+    "build_spec_pet",
+    "build_transcoding_pet",
+    "gamma_execution_pmf",
+    "SPEC_MACHINE_NAMES",
+    "SPEC_TASK_TYPE_NAMES",
+    "SPEC_MEAN_EXECUTION_TIMES",
+    "spec_mean_matrix",
+    "TRANSCODING_MACHINE_NAMES",
+    "TRANSCODING_TASK_TYPES",
+    "TRANSCODING_MEAN_EXECUTION_TIMES",
+]

@@ -1,0 +1,183 @@
+"""The pruning mechanism: probabilistic task dropping and deferring (Section V).
+
+At every mapping event the pruner
+
+1. folds the deadline misses observed since the previous event into the
+   oversubscription detector (Eq. 8 + Schmitt trigger) and, for the fair
+   variant, folds terminal events into the sufferage tracker;
+2. when dropping is engaged, walks every machine queue from the head
+   (executing task first), computes each task's success probability given
+   the tasks *kept* ahead of it, and drops those at or below their
+   (dynamically adjusted, fairness-relaxed) dropping threshold;
+3. exposes the deferring test used by the mapping phase: a batch task whose
+   best achievable robustness fails the deferring threshold is kept in the
+   batch queue for a later, hopefully better, mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.completion import completion_pmf
+from ..core.pmf import DiscretePMF
+from ..core.robustness import success_probability
+from ..simulator.machine import Machine
+from ..simulator.mapping import MappingContext, QueueDrop
+from .fairness import SufferageTracker
+from .oversubscription import OversubscriptionDetector
+from .thresholds import PruningThresholds
+
+__all__ = ["Pruner", "QueuePruneReport"]
+
+
+@dataclass
+class QueuePruneReport:
+    """What the dropping stage decided for one machine queue."""
+
+    machine_index: int
+    drops: list[QueueDrop] = field(default_factory=list)
+    #: (task_id, success_probability, threshold) for every examined task.
+    examined: list[tuple[int, float, float]] = field(default_factory=list)
+    #: Availability PMF of the machine after removing the dropped tasks.
+    availability: DiscretePMF | None = None
+
+
+class Pruner:
+    """Probabilistic task pruning used by PAM and PAMF."""
+
+    def __init__(
+        self,
+        thresholds: PruningThresholds | None = None,
+        *,
+        detector: OversubscriptionDetector | None = None,
+        fairness: SufferageTracker | None = None,
+        always_drop: bool = False,
+    ) -> None:
+        self.thresholds = thresholds or PruningThresholds()
+        self.detector = detector or OversubscriptionDetector()
+        self.fairness = fairness
+        #: When True, dropping is engaged at every mapping event regardless of
+        #: the detector (used by ablation experiments).
+        self.always_drop = bool(always_drop)
+
+    # ------------------------------------------------------------------
+    # Per-mapping-event bookkeeping
+    # ------------------------------------------------------------------
+    def observe_mapping_event(self, context: MappingContext) -> bool:
+        """Update detector/fairness state; return whether dropping is engaged."""
+        if self.fairness is not None:
+            self.fairness.observe_terminal_events(context.terminal_events)
+        engaged = self.detector.observe(context.misses_since_last_event)
+        return engaged or self.always_drop
+
+    def reset(self) -> None:
+        self.detector.reset()
+        if self.fairness is not None:
+            self.fairness.reset()
+
+    # ------------------------------------------------------------------
+    # Threshold helpers
+    # ------------------------------------------------------------------
+    def _sufferage_of(self, task_type: int) -> float:
+        if self.fairness is None:
+            return 0.0
+        return self.fairness.sufferage_of(task_type)
+
+    def deferring_threshold(self, task_type: int) -> float:
+        """Deferring threshold for a task type (fairness-relaxed for PAMF)."""
+        return self.thresholds.deferring_threshold_for(
+            sufferage=self._sufferage_of(task_type)
+        )
+
+    def should_defer(self, best_robustness: float, task_type: int) -> bool:
+        """True when a batch task should not be mapped at this event."""
+        return self.thresholds.should_defer(
+            best_robustness, self.deferring_threshold(task_type)
+        )
+
+    # ------------------------------------------------------------------
+    # Dropping stage
+    # ------------------------------------------------------------------
+    def prune_machine_queue(
+        self, machine: Machine, context: MappingContext
+    ) -> QueuePruneReport:
+        """Walk one machine queue head-first and select tasks to drop.
+
+        The completion-time chain is rebuilt as the walk proceeds so that a
+        drop immediately improves the success probability of the tasks behind
+        the dropped one (Section IV) — exactly the cascading benefit the
+        paper's model quantifies.
+        """
+        report = QueuePruneReport(machine_index=machine.index)
+        tasks = machine.queued_tasks()
+        if not tasks:
+            report.availability = DiscretePMF.point(context.now)
+            return report
+
+        # Availability ahead of the first pending task.
+        if machine.executing is not None:
+            executing = machine.executing
+            prev = machine.executing_completion_pmf(
+                context.pet,
+                context.now,
+                condition_on_now=context.condition_executing_on_now,
+            )
+            # The executing task can itself be dropped (Section V-A starts the
+            # walk at the queue head).  Its success probability is the chance
+            # it finishes by its deadline given it is still running.
+            prob = float(min(1.0, prev.cdf(executing.deadline)))
+            threshold = self.thresholds.dropping_threshold_for(
+                prev,
+                queue_position=0,
+                sufferage=self._sufferage_of(executing.task_type),
+            )
+            report.examined.append((executing.task_id, prob, threshold))
+            if self.thresholds.should_drop(prob, threshold):
+                report.drops.append(QueueDrop(executing.task_id, machine.index))
+                prev = DiscretePMF.point(context.now)
+            else:
+                prev = prev.collapse_tail_to(max(executing.deadline, context.now + 1))
+            start_position = 1
+            remaining = tasks[1:]
+        else:
+            prev = DiscretePMF.point(context.now)
+            start_position = 0
+            remaining = tasks
+
+        for position, task in enumerate(remaining, start=start_position):
+            pet_entry = context.pet.get(task.task_type, machine.index)
+            prob = success_probability(pet_entry, prev, task.deadline, context.policy)
+            pct = completion_pmf(pet_entry, prev, task.deadline, context.policy)
+            threshold = self.thresholds.dropping_threshold_for(
+                pct,
+                queue_position=position,
+                sufferage=self._sufferage_of(task.task_type),
+            )
+            report.examined.append((task.task_id, prob, threshold))
+            if self.thresholds.should_drop(prob, threshold):
+                report.drops.append(QueueDrop(task.task_id, machine.index))
+                continue  # the chain skips the dropped task
+            prev = pct
+            if context.max_impulses is not None:
+                prev = prev.aggregate(context.max_impulses)
+
+        report.availability = prev
+        return report
+
+    def select_queue_drops(
+        self, context: MappingContext
+    ) -> tuple[list[QueueDrop], dict[int, DiscretePMF]]:
+        """Dropping stage over all machine queues.
+
+        Returns the drops plus each machine's availability PMF after the
+        drops, so the mapping phase can reuse the recomputed chains instead
+        of redoing the convolutions.
+        """
+        drops: list[QueueDrop] = []
+        availability: dict[int, DiscretePMF] = {}
+        for machine in context.machines:
+            report = self.prune_machine_queue(machine, context)
+            drops.extend(report.drops)
+            if report.availability is not None:
+                availability[machine.index] = report.availability
+        return drops, availability

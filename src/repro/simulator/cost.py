@@ -1,0 +1,84 @@
+"""Cost model for heterogeneous (cloud) machines (paper Section VII-F).
+
+The paper maps Amazon EC2 VM prices onto the eight simulated machines and
+reports the incurred dollar cost divided by the percentage of on-time task
+completions.  Real EC2 price sheets are not redistributable/fetchable
+offline, so this module ships a static price table whose *relative* structure
+matches the paper's setup: faster/accelerated machines cost more per time
+unit than slower general-purpose ones.  Only relative cost across heuristics
+matters for the Figure 8 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..pet.builders import TRANSCODING_MACHINE_NAMES
+from ..pet.spec_data import SPEC_MACHINE_NAMES
+
+__all__ = [
+    "SPEC_MACHINE_PRICES",
+    "TRANSCODING_MACHINE_PRICES",
+    "price_for_machine",
+    "default_prices_for",
+    "total_cost",
+    "cost_per_percent_robustness",
+]
+
+#: Price per 1000 time units for each SPEC-style machine (arbitrary $ scale,
+#: roughly proportional to machine capability).
+SPEC_MACHINE_PRICES: Mapping[str, float] = {
+    "dell-precision-380": 0.35,
+    "apple-imac-core-duo": 0.22,
+    "apple-xserve": 0.25,
+    "ibm-system-x3455": 0.38,
+    "shuttle-sn25p": 0.28,
+    "ibm-system-p570": 0.95,
+    "sunfire-3800": 0.18,
+    "ibm-bladecenter-hs21xm": 0.42,
+}
+
+#: Price per 1000 time units for the transcoding VM types (GPU instances are
+#: the most expensive, matching EC2's relative pricing).
+TRANSCODING_MACHINE_PRICES: Mapping[str, float] = {
+    "cpu-optimized": 0.34,
+    "memory-optimized": 0.50,
+    "general-purpose": 0.23,
+    "gpu": 1.53,
+}
+
+_ALL_PRICES: dict[str, float] = {**SPEC_MACHINE_PRICES, **TRANSCODING_MACHINE_PRICES}
+
+#: Fallback price for machines outside the two built-in price sheets.
+DEFAULT_PRICE = 0.40
+
+
+def price_for_machine(name: str) -> float:
+    """Price per 1000 time units of a named machine (falls back to a default)."""
+    return _ALL_PRICES.get(name, DEFAULT_PRICE)
+
+
+def default_prices_for(machine_names: Sequence[str]) -> list[float]:
+    """Price list aligned with ``machine_names``."""
+    return [price_for_machine(name) for name in machine_names]
+
+
+def total_cost(busy_times: Sequence[float], prices: Sequence[float]) -> float:
+    """Total incurred cost: sum over machines of busy time x price per unit.
+
+    ``prices`` are per 1000 time units, matching the tables above.
+    """
+    if len(busy_times) != len(prices):
+        raise ValueError("busy_times and prices must have the same length")
+    return float(sum(b * p / 1000.0 for b, p in zip(busy_times, prices)))
+
+
+def cost_per_percent_robustness(cost: float, robustness_percent: float) -> float:
+    """The Figure 8 metric: incurred cost / percentage of on-time completions.
+
+    Returns ``inf`` when nothing completed on time (the paper notes MSD/MMU
+    become "unchartable" at extreme oversubscription for this reason).
+    """
+    if robustness_percent <= 0:
+        return float("inf")
+    return cost / robustness_percent

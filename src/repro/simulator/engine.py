@@ -1,0 +1,345 @@
+"""Event-driven simulator of the oversubscribed HC system (paper Section III).
+
+The engine drives a workload trace through the system model of the paper:
+
+* tasks arrive dynamically into a batch queue of unmapped tasks,
+* a *mapping event* fires whenever a task arrives or a task finishes
+  (completes or is evicted); before each mapping event, tasks whose deadlines
+  have already passed are removed from the system,
+* the active mapping heuristic examines the batch queue and the machine
+  queues and returns assignments (and, for pruning-aware heuristics,
+  proactive drops and deferrals),
+* machines process their bounded local queues FCFS with no preemption or
+  multitasking; actual execution times are sampled from the PET matrix,
+* optionally (default, matching the paper's hard-deadline semantics) an
+  executing task is evicted the moment its deadline passes.
+
+The engine is deterministic given a seeded ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.completion import DroppingPolicy
+from ..pet.matrix import PETMatrix
+from ..utils.rng import make_generator
+from ..workload.generator import WorkloadTrace
+from .cost import default_prices_for
+from .machine import Machine
+from .mapping import (
+    MappingContext,
+    MappingDecision,
+    TerminalEvent,
+    batch_in_arrival_order,
+)
+from .metrics import SimulationCounters, SimulationResult
+from .task import DropReason, Task, TaskStatus
+
+__all__ = ["SimulatorConfig", "MappingHeuristicProtocol", "HCSimulator", "simulate"]
+
+
+class MappingHeuristicProtocol(Protocol):
+    """Structural interface every mapping heuristic implements."""
+
+    name: str
+
+    def map_tasks(self, context: MappingContext) -> MappingDecision:  # pragma: no cover
+        ...
+
+    def reset(self) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """System-model parameters of the simulated HC system."""
+
+    #: Machine local-queue size, counting the executing task (paper: 6).
+    queue_capacity: int = 6
+    #: Evict an executing task the instant its deadline passes.  This matches
+    #: the hard-deadline semantics ("no value remains in executing the task")
+    #: and the evict-capable completion-time model (Section IV, case C).
+    evict_executing_at_deadline: bool = True
+    #: Impulse-aggregation cap used when propagating completion-time PMFs
+    #: (None = exact convolutions; 32 keeps mapping events fast).
+    max_impulses: int | None = 32
+    #: Condition the executing task's completion PMF on the current time at
+    #: every mapping event.  The paper anchors it at the start time instead
+    #: (default False), which also allows queue-chain caching.
+    condition_executing_on_now: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least one")
+        if self.max_impulses is not None and self.max_impulses < 1:
+            raise ValueError("max_impulses must be at least one (or None)")
+
+    @property
+    def dropping_policy(self) -> DroppingPolicy:
+        """Completion-time regime matching the configured system behaviour."""
+        return DroppingPolicy.EVICT if self.evict_executing_at_deadline else DroppingPolicy.PENDING
+
+
+_ARRIVAL = 0
+_FINISH = 1
+
+
+class HCSimulator:
+    """Discrete-event simulator binding a PET matrix, machines, and a heuristic."""
+
+    def __init__(
+        self,
+        pet: PETMatrix,
+        heuristic: MappingHeuristicProtocol,
+        *,
+        config: SimulatorConfig | None = None,
+        machine_prices: Sequence[float] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.pet = pet
+        self.heuristic = heuristic
+        self.config = config or SimulatorConfig()
+        prices = (
+            list(machine_prices)
+            if machine_prices is not None
+            else default_prices_for(pet.machine_names)
+        )
+        if len(prices) != pet.num_machines:
+            raise ValueError("one price per machine is required")
+        self.machine_prices = [float(p) for p in prices]
+        self.rng = make_generator(rng)
+
+        self.machines: list[Machine] = []
+        self.tasks: dict[int, Task] = {}
+        self._batch: dict[int, Task] = {}
+        self._events: list[tuple[int, int, int, int]] = []
+        self._seq = itertools.count()
+        self._counters = SimulationCounters()
+        self._misses_since_event = 0
+        self._terminal_since_event: list[TerminalEvent] = []
+        self._now = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, trace: WorkloadTrace) -> SimulationResult:
+        """Simulate one workload trace to completion and return the metrics."""
+        self._reset_state()
+        self.heuristic.reset()
+        for spec in trace:
+            task = Task(spec)
+            self.tasks[spec.task_id] = task
+            self._push_event(spec.arrival, _ARRIVAL, spec.task_id)
+
+        while self._events:
+            now = self._events[0][0]
+            self._now = now
+            self._process_events_at(now)
+            self._drop_missed_tasks(now)
+            self._run_mapping_event(now)
+            self._start_executions(now)
+
+        self._finalise_unfinished_tasks()
+        ordered = tuple(
+            sorted(self.tasks.values(), key=lambda t: (t.arrival, t.task_id))
+        )
+        return SimulationResult(
+            tasks=ordered,
+            machine_names=tuple(self.pet.machine_names),
+            machine_busy_times=tuple(float(m.busy_time) for m in self.machines),
+            machine_prices=tuple(self.machine_prices),
+            num_task_types=self.pet.num_task_types,
+            counters=self._counters,
+            end_time=self._now,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self.machines = [
+            Machine(
+                index=i,
+                name=name,
+                queue_capacity=self.config.queue_capacity,
+                price_per_time=self.machine_prices[i],
+            )
+            for i, name in enumerate(self.pet.machine_names)
+        ]
+        self.tasks = {}
+        self._batch = {}
+        self._events = []
+        self._seq = itertools.count()
+        self._counters = SimulationCounters()
+        self._misses_since_event = 0
+        self._terminal_since_event = []
+        self._now = 0
+
+    def _push_event(self, time: int, kind: int, task_id: int) -> None:
+        heapq.heappush(self._events, (int(time), kind, next(self._seq), task_id))
+
+    def _process_events_at(self, now: int) -> None:
+        while self._events and self._events[0][0] == now:
+            _, kind, _, task_id = heapq.heappop(self._events)
+            task = self.tasks[task_id]
+            if kind == _ARRIVAL:
+                self._batch[task_id] = task
+            elif kind == _FINISH:
+                self._handle_finish(task, now)
+
+    def _handle_finish(self, task: Task, now: int) -> None:
+        # The task may have been proactively dropped after this event was
+        # scheduled; such stale events are ignored.
+        if task.status is not TaskStatus.EXECUTING or task.machine is None:
+            return
+        machine = self.machines[task.machine]
+        if machine.executing is not task:
+            return
+        machine.finish_executing(task, now)
+        finish_time = (task.exec_start or now) + (task.actual_execution_time or 0)
+        if finish_time <= now:
+            task.mark_completed(now)
+            self._counters.completions += 1
+            if not task.on_time:
+                self._misses_since_event += 1
+            self._record_terminal(task)
+        else:
+            # Eviction: deadline reached before the sampled execution time elapsed.
+            task.mark_dropped(now, DropReason.DEADLINE_MISS_EXECUTING)
+            self._counters.evictions += 1
+            self._misses_since_event += 1
+            self._record_terminal(task)
+
+    def _record_terminal(self, task: Task) -> None:
+        self._terminal_since_event.append(
+            TerminalEvent(task.task_id, task.task_type, task.on_time)
+        )
+
+    def _drop_missed_tasks(self, now: int) -> None:
+        """Remove tasks whose deadlines passed while waiting (Section III)."""
+        for task_id in [tid for tid, t in self._batch.items() if t.deadline <= now]:
+            task = self._batch.pop(task_id)
+            task.mark_dropped(now, DropReason.DEADLINE_MISS_UNMAPPED)
+            self._counters.deadline_miss_drops += 1
+            self._misses_since_event += 1
+            self._record_terminal(task)
+        for machine in self.machines:
+            for task in [t for t in machine.pending if t.deadline <= now]:
+                machine.remove_pending(task)
+                task.mark_dropped(now, DropReason.DEADLINE_MISS_QUEUED)
+                self._counters.deadline_miss_drops += 1
+                self._misses_since_event += 1
+                self._record_terminal(task)
+
+    def _run_mapping_event(self, now: int) -> None:
+        context = MappingContext(
+            now=now,
+            batch=batch_in_arrival_order(self._batch.values()),
+            machines=tuple(self.machines),
+            pet=self.pet,
+            policy=self.config.dropping_policy,
+            misses_since_last_event=self._misses_since_event,
+            terminal_events=tuple(self._terminal_since_event),
+            max_impulses=self.config.max_impulses,
+            condition_executing_on_now=self.config.condition_executing_on_now,
+        )
+        self._misses_since_event = 0
+        self._terminal_since_event = []
+        decision = self.heuristic.map_tasks(context)
+        decision.validate(context)
+        self._apply_decision(decision, now)
+        self._counters.mapping_events += 1
+
+    def _apply_decision(self, decision: MappingDecision, now: int) -> None:
+        for drop in decision.queue_drops:
+            machine = self.machines[drop.machine_index]
+            task = self.tasks[drop.task_id]
+            if task.is_terminal:
+                continue
+            if machine.executing is task:
+                machine.finish_executing(task, now)
+            else:
+                machine.remove_pending(task)
+            task.mark_dropped(now, DropReason.PRUNED)
+            self._counters.proactive_drops += 1
+            self._record_terminal(task)
+
+        for assignment in decision.assignments:
+            machine = self.machines[assignment.machine_index]
+            task = self.tasks[assignment.task_id]
+            if task.is_terminal or task.task_id not in self._batch:
+                continue
+            if not machine.has_free_slot:
+                continue
+            del self._batch[task.task_id]
+            machine.enqueue(task, now)
+            self._counters.assignments += 1
+
+        self._counters.deferrals += len(decision.deferrals)
+
+    def _start_executions(self, now: int) -> None:
+        for machine in self.machines:
+            if machine.is_idle and machine.pending:
+                head = machine.pending[0]
+                pet_entry = self.pet.get(head.task_type, machine.index)
+                actual = int(pet_entry.sample(self.rng))
+                task = machine.start_next(now, actual)
+                finish_time = now + actual
+                if (
+                    self.config.evict_executing_at_deadline
+                    and finish_time > task.deadline
+                ):
+                    self._push_event(max(task.deadline, now + 1), _FINISH, task.task_id)
+                else:
+                    self._push_event(finish_time, _FINISH, task.task_id)
+
+    def _finalise_unfinished_tasks(self) -> None:
+        """Terminate tasks stranded when the event queue drains.
+
+        This only happens when a heuristic defers tasks even though no more
+        events will ever fire (e.g. nothing can meet its deadline any more);
+        those tasks are dropped at their deadlines.
+        """
+        end_time = self._now
+        for task in self.tasks.values():
+            if task.is_terminal:
+                continue
+            drop_time = max(task.deadline, self._now)
+            end_time = max(end_time, drop_time)
+            if task.status is TaskStatus.PENDING:
+                reason = DropReason.DEADLINE_MISS_UNMAPPED
+            elif task.status is TaskStatus.QUEUED:
+                reason = DropReason.DEADLINE_MISS_QUEUED
+            else:
+                reason = DropReason.DEADLINE_MISS_EXECUTING
+            if task.machine is not None and not task.is_terminal:
+                machine = self.machines[task.machine]
+                if machine.executing is task:
+                    machine.finish_executing(task, drop_time)
+                elif task in machine.pending:
+                    machine.remove_pending(task)
+            task.mark_dropped(drop_time, reason)
+            self._counters.deadline_miss_drops += 1
+        self._now = end_time
+
+
+def simulate(
+    pet: PETMatrix,
+    heuristic: MappingHeuristicProtocol,
+    trace: WorkloadTrace,
+    *,
+    config: SimulatorConfig | None = None,
+    machine_prices: Sequence[float] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper: build an :class:`HCSimulator` and run it."""
+    sim = HCSimulator(
+        pet, heuristic, config=config, machine_prices=machine_prices, rng=rng
+    )
+    return sim.run(trace)

@@ -1,0 +1,27 @@
+"""Workload generation: arrivals, deadlines, and full traces (Section VI-B)."""
+
+from .arrivals import (
+    gamma_interarrival_times,
+    generate_arrival_times,
+    spread_tasks_over_types,
+)
+from .deadlines import DeadlineModel, deadline_for
+from .generator import WorkloadConfig, WorkloadTrace, generate_workload
+from .spec import TaskSpec
+from .traces import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+__all__ = [
+    "TaskSpec",
+    "WorkloadConfig",
+    "WorkloadTrace",
+    "generate_workload",
+    "DeadlineModel",
+    "deadline_for",
+    "gamma_interarrival_times",
+    "generate_arrival_times",
+    "spread_tasks_over_types",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+]

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the PMF algebra invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pmf import DiscretePMF
+
+
+@st.composite
+def pmfs(draw, max_impulses: int = 8, max_time: int = 60):
+    """Random proper (unit-mass) PMFs with a handful of impulses."""
+    n = draw(st.integers(min_value=1, max_value=max_impulses))
+    times = draw(
+        st.lists(st.integers(min_value=0, max_value=max_time), min_size=n, max_size=n, unique=True)
+    )
+    weights = draw(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=n, max_size=n)
+    )
+    total = sum(weights)
+    return DiscretePMF.from_impulses({t: w / total for t, w in zip(times, weights)})
+
+
+@given(pmfs(), pmfs())
+@settings(max_examples=60, deadline=None)
+def test_convolution_preserves_total_mass(a, b):
+    np.testing.assert_allclose(
+        a.convolve(b).total_mass(), a.total_mass() * b.total_mass(), rtol=1e-9
+    )
+
+
+@given(pmfs(), pmfs())
+@settings(max_examples=60, deadline=None)
+def test_convolution_mean_is_additive(a, b):
+    conv = a.convolve(b)
+    np.testing.assert_allclose(conv.mean(), a.mean() + b.mean(), rtol=1e-9, atol=1e-9)
+
+
+@given(pmfs(), pmfs())
+@settings(max_examples=40, deadline=None)
+def test_convolution_is_commutative(a, b):
+    assert a.convolve(b).allclose(b.convolve(a))
+
+@given(pmfs(), st.integers(min_value=-50, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_shift_preserves_mass_and_moves_mean(pmf, delta):
+    shifted = pmf.shift(delta)
+    np.testing.assert_allclose(shifted.total_mass(), pmf.total_mass(), rtol=1e-12)
+    np.testing.assert_allclose(shifted.mean(), pmf.mean() + delta, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(shifted.variance(), pmf.variance(), rtol=1e-9, atol=1e-9)
+
+
+@given(pmfs())
+@settings(max_examples=60, deadline=None)
+def test_cdf_is_monotone_and_reaches_total_mass(pmf):
+    lo, hi = pmf.support()
+    previous = 0.0
+    for t in range(lo - 1, hi + 2):
+        current = pmf.cdf(t)
+        assert current + 1e-12 >= previous
+        previous = current
+    np.testing.assert_allclose(pmf.cdf(hi), pmf.total_mass(), rtol=1e-12)
+
+
+@given(pmfs(), st.integers(min_value=0, max_value=70))
+@settings(max_examples=60, deadline=None)
+def test_truncation_partitions_mass(pmf, cut):
+    before = pmf.truncate_before(cut).total_mass()
+    after = pmf.truncate_from(cut).total_mass()
+    np.testing.assert_allclose(before + after, pmf.total_mass(), rtol=1e-12)
+
+
+@given(pmfs(), st.integers(min_value=0, max_value=70))
+@settings(max_examples=60, deadline=None)
+def test_collapse_tail_preserves_mass_and_bounds_support(pmf, deadline):
+    collapsed = pmf.collapse_tail_to(deadline)
+    np.testing.assert_allclose(collapsed.total_mass(), pmf.total_mass(), rtol=1e-12)
+    assert collapsed.support()[1] <= max(deadline, pmf.support()[1])
+    # nothing remains strictly after the deadline unless it was already below it
+    if pmf.mass_from(deadline) > 0:
+        assert collapsed.support()[1] <= deadline
+
+
+@given(pmfs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_aggregate_preserves_mass_and_respects_cap(pmf, cap):
+    aggregated = pmf.aggregate(cap)
+    np.testing.assert_allclose(aggregated.total_mass(), pmf.total_mass(), rtol=1e-12)
+    assert np.count_nonzero(aggregated.probs) <= cap
+    lo, hi = pmf.support()
+    alo, ahi = aggregated.support()
+    assert lo <= alo <= ahi <= hi
+
+
+@given(pmfs())
+@settings(max_examples=60, deadline=None)
+def test_bounded_skewness_is_bounded(pmf):
+    assert -1.0 <= pmf.bounded_skewness() <= 1.0
+
+
+@given(pmfs())
+@settings(max_examples=40, deadline=None)
+def test_impulse_round_trip(pmf):
+    assert DiscretePMF.from_impulses(pmf.to_impulses()).allclose(pmf)

@@ -1,0 +1,102 @@
+"""Smoke tests for every figure driver (tiny scale).
+
+These are integration tests of the whole stack: PET builders, workload
+generation, simulator, heuristics, pruning and the experiment harness.  They
+use a deliberately tiny :class:`ExperimentConfig` so the full file runs in
+tens of seconds; the structural assertions (keys present, values in range)
+are what matter here — the paper-shape assertions live in
+``tests/test_paper_claims.py`` and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+TINY = ExperimentConfig(trials=1, seed=5, warmup_tasks=10, cooldown_tasks=10, task_scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return run_fig7(TINY, levels=("34k",), heuristics=("PAM", "MM"))
+
+
+class TestFig4:
+    def test_structure_and_ranges(self):
+        result = run_fig4(TINY, level="34k", lambdas=(0.5, 0.9))
+        assert set(result.series) == {
+            (0.5, "default"),
+            (0.5, "schmitt"),
+            (0.9, "default"),
+            (0.9, "schmitt"),
+        }
+        for series in result.series.values():
+            assert 0.0 <= series.mean_robustness() <= 100.0
+        assert result.best_lambda("schmitt") in (0.5, 0.9)
+        assert "Figure 4" in result.to_text()
+        assert len(result.rows()) == 2
+
+
+class TestFig5:
+    def test_structure(self):
+        result = run_fig5(TINY, level="34k", dropping_thresholds=(0.5,), gap_step=0.2)
+        defers = result.defer_values(0.5)
+        assert defers[0] == pytest.approx(0.5)
+        assert all(d <= 0.9 + 1e-9 for d in defers)
+        assert "defer" in result.to_text().lower()
+        for (_, _), series in result.series.items():
+            assert 0.0 <= series.mean_robustness() <= 100.0
+
+
+class TestFig6:
+    def test_structure(self):
+        result = run_fig6(TINY, levels=("34k",), fairness_factors=(0.0, 0.05))
+        assert result.factors("34k") == [0.0, 0.05]
+        assert result.fairness_variance("34k", 0.05) >= 0.0
+        assert 0.0 <= result.robustness("34k", 0.0) <= 100.0
+        assert "fairness" in result.to_text().lower()
+
+
+class TestFig7:
+    def test_structure(self, fig7_result):
+        assert fig7_result.heuristics() == ["MM", "PAM"]
+        assert fig7_result.levels() == ["34k"]
+        ranking = fig7_result.ranking("34k")
+        assert set(ranking) == {"MM", "PAM"}
+        assert len(fig7_result.rows()) == 2
+
+    def test_pam_wins_even_at_tiny_scale(self, fig7_result):
+        assert fig7_result.robustness("34k", "PAM") >= fig7_result.robustness("34k", "MM")
+
+
+class TestFig8:
+    def test_structure(self):
+        result = run_fig8(TINY, levels=("34k",), heuristics=("PAM", "MM"))
+        pam_cost = result.cost_per_percent("34k", "PAM")
+        mm_cost = result.cost_per_percent("34k", "MM")
+        assert pam_cost > 0
+        assert np.isfinite(pam_cost)
+        saving = result.saving_vs("34k", "PAM", "MM")
+        assert saving == pytest.approx(1 - pam_cost / mm_cost)
+        assert "cost" in result.to_text().lower()
+
+
+class TestFig9:
+    def test_structure(self):
+        result = run_fig9(TINY, levels=("17.5k",), heuristics=("PAMF", "MM"))
+        assert result.levels() == ["17.5k"]
+        advantage = result.advantage("17.5k")
+        assert advantage == pytest.approx(
+            result.robustness("17.5k", "PAMF") - result.robustness("17.5k", "MM")
+        )
+        assert "transcoding" in result.to_text().lower()

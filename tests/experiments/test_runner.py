@@ -1,0 +1,106 @@
+"""Tests for the multi-trial experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SeriesResult, TrialMetrics, run_series
+from repro.heuristics.registry import make_heuristic
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig(trials=2, seed=99, warmup_tasks=5, cooldown_tasks=5)
+
+
+@pytest.fixture
+def quick_workload() -> WorkloadConfig:
+    return WorkloadConfig(num_tasks=60, time_span=400, beta=1.5)
+
+
+class TestRunSeries:
+    def test_runs_requested_trials(self, small_gamma_pet, quick_config, quick_workload):
+        series = run_series(
+            label="demo",
+            pet=small_gamma_pet,
+            heuristic_factory=lambda: make_heuristic("MM"),
+            workload=quick_workload,
+            config=quick_config,
+        )
+        assert len(series.trials) == 2
+        for trial in series.trials:
+            assert 0.0 <= trial.robustness_percent <= 100.0
+            assert trial.total_tasks == 60
+            assert len(trial.per_type_completion_percent) == small_gamma_pet.num_task_types
+
+    def test_reproducible_with_same_seed(self, small_gamma_pet, quick_config, quick_workload):
+        def run():
+            return run_series(
+                label="demo",
+                pet=small_gamma_pet,
+                heuristic_factory=lambda: make_heuristic("MM"),
+                workload=quick_workload,
+                config=quick_config,
+            )
+
+        first, second = run(), run()
+        assert [t.robustness_percent for t in first.trials] == [
+            t.robustness_percent for t in second.trials
+        ]
+
+    def test_trials_use_distinct_workloads(self, small_gamma_pet, quick_config, quick_workload):
+        series = run_series(
+            label="demo",
+            pet=small_gamma_pet,
+            heuristic_factory=lambda: make_heuristic("MM"),
+            workload=quick_workload,
+            config=quick_config,
+        )
+        # Different arrival streams almost surely give different costs.
+        costs = [t.total_cost for t in series.trials]
+        assert costs[0] != costs[1]
+
+    def test_summaries(self, small_gamma_pet, quick_config, quick_workload):
+        series = run_series(
+            label="demo",
+            pet=small_gamma_pet,
+            heuristic_factory=lambda: make_heuristic("MM"),
+            workload=quick_workload,
+            config=quick_config,
+        )
+        robustness = series.robustness()
+        assert robustness.n == 2
+        assert series.mean_robustness() == pytest.approx(robustness.mean)
+        row = series.as_row()
+        assert row["label"] == "demo"
+        assert row["trials"] == 2
+
+    def test_cost_per_percent_ignores_infinite_trials(self):
+        series = SeriesResult(label="x")
+        series.trials.append(
+            TrialMetrics(
+                robustness_percent=0.0,
+                fairness_variance=0.0,
+                total_cost=1.0,
+                cost_per_percent_on_time=float("inf"),
+                completed_on_time=0,
+                total_tasks=10,
+                per_type_completion_percent=(0.0,),
+            )
+        )
+        series.trials.append(
+            TrialMetrics(
+                robustness_percent=50.0,
+                fairness_variance=0.0,
+                total_cost=1.0,
+                cost_per_percent_on_time=0.02,
+                completed_on_time=5,
+                total_tasks=10,
+                per_type_completion_percent=(50.0,),
+            )
+        )
+        assert series.cost_per_percent().mean == pytest.approx(0.02)
+        assert np.isfinite(series.cost_per_percent().mean)

@@ -1,0 +1,157 @@
+"""Tests for the two-phase framework: virtual queues and the score table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.completion import DroppingPolicy
+from repro.heuristics.base import ScoreTable, VirtualSystemState
+from repro.heuristics.scoring import fast_success_probability
+from repro.simulator.machine import Machine
+from repro.simulator.mapping import MappingContext, batch_in_arrival_order
+from repro.simulator.task import Task
+from repro.workload.spec import TaskSpec
+
+
+def make_task(task_id: int, *, task_type: int = 0, deadline: int = 500, arrival: int = 0) -> Task:
+    return Task(TaskSpec(arrival=arrival, task_id=task_id, task_type=task_type, deadline=deadline))
+
+
+def make_context(tiny_pet, machines, batch=(), now=0):
+    return MappingContext(
+        now=now,
+        batch=batch_in_arrival_order(batch),
+        machines=tuple(machines),
+        pet=tiny_pet,
+        policy=DroppingPolicy.EVICT,
+    )
+
+
+class TestVirtualSystemState:
+    def test_free_slots_reflect_real_queues(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=3)
+        m1 = Machine(1, "fast-b", queue_capacity=3)
+        m0.enqueue(make_task(10), now=0)
+        context = make_context(tiny_pet, [m0, m1])
+        virtual = VirtualSystemState(context)
+        assert virtual.machines[0].free_slots == 2
+        assert virtual.machines[1].free_slots == 3
+        assert virtual.total_free_slots == 5
+
+    def test_assign_consumes_slot_and_extends_availability(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=2)
+        context = make_context(tiny_pet, [m0])
+        virtual = VirtualSystemState(context)
+        before = virtual.machines[0].availability.mean()
+        task = make_task(1, task_type=0, deadline=400)
+        virtual.assign(task, 0)
+        after = virtual.machines[0].availability.mean()
+        assert virtual.machines[0].free_slots == 1
+        assert after > before
+
+    def test_assign_to_full_machine_raises(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=1)
+        m0.enqueue(make_task(10), now=0)
+        context = make_context(tiny_pet, [m0])
+        virtual = VirtualSystemState(context)
+        with pytest.raises(RuntimeError):
+            virtual.assign(make_task(1), 0)
+
+    def test_dropped_tasks_excluded_from_availability(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=4)
+        long_task = make_task(10, task_type=2, deadline=600)
+        m0.enqueue(long_task, now=0)
+        context = make_context(tiny_pet, [m0])
+        with_task = VirtualSystemState(context)
+        without_task = VirtualSystemState(context, dropped_task_ids={10})
+        assert without_task.machines[0].free_slots == with_task.machines[0].free_slots + 1
+        assert without_task.machines[0].availability.mean() < with_task.machines[0].availability.mean()
+
+    def test_availability_override_used(self, tiny_pet):
+        from repro.core.pmf import DiscretePMF
+
+        m0 = Machine(0, "fast-a", queue_capacity=4)
+        m0.enqueue(make_task(10), now=0)
+        context = make_context(tiny_pet, [m0])
+        override = {0: DiscretePMF.point(77)}
+        virtual = VirtualSystemState(context, availability_override=override)
+        assert virtual.machines[0].availability.probability_at(77) == pytest.approx(1.0)
+
+
+class TestScoreTable:
+    def test_scores_match_reference_functions(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=3)
+        m1 = Machine(1, "fast-b", queue_capacity=3)
+        m0.enqueue(make_task(10, task_type=2, deadline=600), now=0)
+        batch = [make_task(1, task_type=0, deadline=40), make_task(2, task_type=1, deadline=35)]
+        context = make_context(tiny_pet, [m0, m1], batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        for i, task in enumerate(table.tasks):
+            for j in range(2):
+                exec_pmf = tiny_pet.get(task.task_type, j)
+                availability = virtual.machines[j].availability
+                assert table.robustness[i, j] == pytest.approx(
+                    fast_success_probability(exec_pmf, availability, task.deadline)
+                )
+                assert table.completion[i, j] == pytest.approx(
+                    availability.mean() + exec_pmf.mean()
+                )
+
+    def test_best_pairs_robustness_based_prefers_affinity(self, tiny_pet):
+        """With idle machines, an alpha task must pick fast-a and a beta task
+        fast-b — the inconsistent-affinity matching the PET encodes."""
+        machines = [Machine(0, "fast-a", queue_capacity=3), Machine(1, "fast-b", queue_capacity=3)]
+        batch = [make_task(1, task_type=0, deadline=9), make_task(2, task_type=1, deadline=9)]
+        context = make_context(tiny_pet, machines, batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        pairs = {p.task.task_id: p for p in table.best_pairs(robustness_based=True)}
+        assert pairs[1].machine_index == 0
+        assert pairs[2].machine_index == 1
+
+    def test_best_pairs_completion_based_prefers_fastest_machine(self, tiny_pet):
+        machines = [Machine(0, "fast-a", queue_capacity=3), Machine(1, "fast-b", queue_capacity=3)]
+        batch = [make_task(1, task_type=0, deadline=900)]
+        context = make_context(tiny_pet, machines, batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        pairs = table.best_pairs(robustness_based=False)
+        assert pairs[0].machine_index == 0  # alpha is fastest on fast-a
+
+    def test_deactivated_tasks_excluded(self, tiny_pet):
+        machines = [Machine(0, "fast-a", queue_capacity=3)]
+        batch = [make_task(1, deadline=100), make_task(2, deadline=100)]
+        context = make_context(tiny_pet, machines, batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        table.deactivate([1])
+        remaining = {p.task.task_id for p in table.best_pairs(robustness_based=True)}
+        assert remaining == {2}
+        table.deactivate([2])
+        assert not table.any_active
+
+    def test_full_machines_are_closed(self, tiny_pet):
+        m0 = Machine(0, "fast-a", queue_capacity=1)
+        m0.enqueue(make_task(10), now=0)
+        m1 = Machine(1, "fast-b", queue_capacity=1)
+        batch = [make_task(1, task_type=0, deadline=100)]
+        context = make_context(tiny_pet, [m0, m1], batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        pairs = table.best_pairs(robustness_based=True)
+        # Only fast-b has a free slot, even though fast-a would be better.
+        assert pairs[0].machine_index == 1
+
+    def test_refresh_after_assignment_changes_scores(self, tiny_pet):
+        machines = [Machine(0, "fast-a", queue_capacity=3)]
+        batch = [make_task(1, task_type=0, deadline=100), make_task(2, task_type=0, deadline=100)]
+        context = make_context(tiny_pet, machines, batch=batch)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        before = table.completion[1, 0]
+        virtual.assign(table.tasks[0], 0)
+        table.refresh_machine(0, virtual)
+        after = table.completion[1, 0]
+        assert after > before

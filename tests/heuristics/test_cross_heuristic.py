@@ -1,0 +1,112 @@
+"""Cross-heuristic behavioural tests on shared workloads.
+
+These run every heuristic on the same traces and check system-level
+properties that must hold regardless of the mapping policy, plus the relative
+behaviours that motivate the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.heuristics.registry import HEURISTIC_NAMES, make_heuristic
+from repro.simulator.task import TaskStatus
+
+
+@pytest.fixture(scope="module")
+def per_heuristic_results(small_gamma_pet, request):
+    """One simulation per heuristic on a shared oversubscribed trace."""
+    trace = repro.generate_workload(
+        repro.WorkloadConfig(num_tasks=110, time_span=550, beta=1.5),
+        small_gamma_pet,
+        rng=21,
+    )
+    results = {}
+    for name in HEURISTIC_NAMES:
+        heuristic = make_heuristic(name, num_task_types=small_gamma_pet.num_task_types)
+        results[name] = repro.simulate(small_gamma_pet, heuristic, trace, rng=22)
+    return results
+
+
+@pytest.fixture(scope="module")
+def light_results(small_gamma_pet):
+    """One simulation per heuristic on a lightly loaded trace."""
+    trace = repro.generate_workload(
+        repro.WorkloadConfig(num_tasks=30, time_span=1500, beta=3.0),
+        small_gamma_pet,
+        rng=31,
+    )
+    results = {}
+    for name in HEURISTIC_NAMES:
+        heuristic = make_heuristic(name, num_task_types=small_gamma_pet.num_task_types)
+        results[name] = repro.simulate(small_gamma_pet, heuristic, trace, rng=32)
+    return results
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_every_task_reaches_exactly_one_terminal_state(self, per_heuristic_results, name):
+        result = per_heuristic_results[name]
+        assert all(t.is_terminal for t in result.tasks)
+        assert sum(result.status_counts().values()) == len(result.tasks)
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_no_task_starts_before_arrival_or_mapping(self, per_heuristic_results, name):
+        for task in per_heuristic_results[name].tasks:
+            if task.exec_start is not None:
+                assert task.exec_start >= task.arrival
+                assert task.mapped_at is not None
+                assert task.exec_start >= task.mapped_at
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_on_time_tasks_really_met_their_deadlines(self, per_heuristic_results, name):
+        for task in per_heuristic_results[name].tasks:
+            if task.on_time:
+                assert task.exec_end <= task.deadline
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_busy_time_never_exceeds_span_per_machine(self, per_heuristic_results, name):
+        result = per_heuristic_results[name]
+        for busy in result.machine_busy_times:
+            assert 0 <= busy <= result.end_time
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_robustness_bounded(self, per_heuristic_results, name):
+        assert 0.0 <= per_heuristic_results[name].robustness_percent() <= 100.0
+
+
+class TestLightLoadBehaviour:
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_everyone_does_well_without_oversubscription(self, light_results, name):
+        """With ample slack and light load, every heuristic (including the
+        pruning-aware ones — nothing should be pruned) completes most tasks."""
+        assert light_results[name].robustness_percent() >= 75.0
+
+    def test_pruning_heuristics_do_not_drop_needlessly(self, light_results):
+        for name in ("PAM", "PAMF"):
+            assert light_results[name].counters.proactive_drops == 0
+
+
+class TestOversubscribedComparison:
+    def test_pruning_mappers_lead_the_ranking(self, per_heuristic_results):
+        robustness = {
+            name: result.robustness_percent(warmup=10, cooldown=10)
+            for name, result in per_heuristic_results.items()
+        }
+        ranking = sorted(robustness, key=robustness.get, reverse=True)
+        assert ranking[0] in ("PAM", "PAMF")
+        assert robustness["PAM"] >= robustness["MM"]
+
+    def test_only_pruning_mappers_defer_or_prune(self, per_heuristic_results):
+        for name, result in per_heuristic_results.items():
+            if name in ("PAM", "PAMF"):
+                assert result.counters.deferrals > 0
+            else:
+                assert result.counters.deferrals == 0
+                assert result.counters.proactive_drops == 0
+
+    def test_cost_of_pruning_mappers_not_higher(self, per_heuristic_results):
+        pam_cost = per_heuristic_results["PAM"].total_cost()
+        mm_cost = per_heuristic_results["MM"].total_cost()
+        assert pam_cost <= mm_cost * 1.05

@@ -1,0 +1,47 @@
+"""Tests for the heuristic registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics.base import MappingHeuristic
+from repro.heuristics.pam import PruningAwareMapper
+from repro.heuristics.pamf import FairPruningMapper
+from repro.heuristics.registry import HEURISTIC_NAMES, make_heuristic
+from repro.pruning.thresholds import PruningThresholds
+
+
+class TestRegistry:
+    def test_all_paper_heuristics_listed(self):
+        assert set(HEURISTIC_NAMES) == {"PAM", "PAMF", "MOC", "MM", "MSD", "MMU"}
+
+    @pytest.mark.parametrize("name", HEURISTIC_NAMES)
+    def test_every_name_builds(self, name):
+        heuristic = make_heuristic(name, num_task_types=4)
+        assert isinstance(heuristic, MappingHeuristic)
+        assert heuristic.name == name
+
+    def test_case_insensitive(self):
+        assert isinstance(make_heuristic("pam"), PruningAwareMapper)
+        assert isinstance(make_heuristic(" mm "), MappingHeuristic)
+
+    def test_pamf_requires_task_type_count(self):
+        with pytest.raises(ValueError):
+            make_heuristic("PAMF")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_heuristic("SUPER")
+
+    def test_thresholds_forwarded(self):
+        thresholds = PruningThresholds(dropping=0.3, deferring=0.7)
+        pam = make_heuristic("PAM", thresholds=thresholds)
+        assert pam.thresholds is thresholds
+
+    def test_fairness_factor_forwarded(self):
+        pamf = make_heuristic("PAMF", num_task_types=5, fairness_factor=0.2)
+        assert isinstance(pamf, FairPruningMapper)
+        assert pamf.fairness_factor == pytest.approx(0.2)
+
+    def test_fresh_instances_per_call(self):
+        assert make_heuristic("PAM") is not make_heuristic("PAM")

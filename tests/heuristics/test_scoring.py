@@ -1,0 +1,64 @@
+"""Tests for the fast phase-1 scoring primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.completion import DroppingPolicy
+from repro.core.pmf import DiscretePMF
+from repro.core.robustness import success_probability
+from repro.heuristics.scoring import expected_completion, fast_success_probability, urgency
+
+
+class TestFastSuccessProbability:
+    def test_matches_exact_computation(self, simple_pmf, fig2_prev_pct):
+        for deadline in range(2, 12):
+            exact = success_probability(simple_pmf, fig2_prev_pct, deadline, DroppingPolicy.PENDING)
+            fast = fast_success_probability(simple_pmf, fig2_prev_pct, deadline)
+            assert fast == pytest.approx(exact)
+
+    def test_idle_machine(self, simple_pmf):
+        availability = DiscretePMF.point(10)
+        assert fast_success_probability(simple_pmf, availability, 13) == pytest.approx(1.0)
+        assert fast_success_probability(simple_pmf, availability, 12) == pytest.approx(0.75)
+        assert fast_success_probability(simple_pmf, availability, 10) == 0.0
+
+    def test_zero_when_start_at_or_after_deadline(self, simple_pmf):
+        availability = DiscretePMF.point(20)
+        assert fast_success_probability(simple_pmf, availability, 20) == 0.0
+        assert fast_success_probability(simple_pmf, availability, 15) == 0.0
+
+    def test_zero_mass_availability(self, simple_pmf):
+        assert fast_success_probability(simple_pmf, DiscretePMF.zero(), 100) == 0.0
+
+    def test_monotone_in_deadline(self, simple_pmf, fig2_prev_pct):
+        values = [
+            fast_success_probability(simple_pmf, fig2_prev_pct, d) for d in range(2, 15)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_one(self, simple_pmf, fig2_prev_pct):
+        assert fast_success_probability(simple_pmf, fig2_prev_pct, 1000) <= 1.0
+
+
+class TestExpectedCompletion:
+    def test_sum_of_means(self, simple_pmf, fig2_prev_pct):
+        assert expected_completion(simple_pmf, fig2_prev_pct) == pytest.approx(
+            simple_pmf.mean() + fig2_prev_pct.mean()
+        )
+
+    def test_matches_convolution_mean(self, simple_pmf, fig2_prev_pct):
+        conv_mean = simple_pmf.convolve(fig2_prev_pct).mean()
+        assert expected_completion(simple_pmf, fig2_prev_pct) == pytest.approx(conv_mean)
+
+
+class TestUrgency:
+    def test_closer_deadline_is_more_urgent(self):
+        assert urgency(100, 50) < urgency(60, 50)
+
+    def test_formula(self):
+        assert urgency(60, 50) == pytest.approx(0.1)
+
+    def test_impossible_task_is_maximally_urgent(self):
+        assert urgency(50, 50) == float("inf")
+        assert urgency(40, 50) == float("inf")

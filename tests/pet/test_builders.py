@@ -1,0 +1,133 @@
+"""Tests for the SPEC-style and transcoding PET builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pet.builders import (
+    TRANSCODING_MACHINE_NAMES,
+    TRANSCODING_TASK_TYPES,
+    build_pet_from_means,
+    build_spec_pet,
+    build_transcoding_pet,
+    gamma_execution_pmf,
+)
+from repro.pet.spec_data import (
+    SPEC_MACHINE_NAMES,
+    SPEC_TASK_TYPE_NAMES,
+    spec_mean_matrix,
+)
+
+
+class TestGammaEntry:
+    def test_mean_close_to_target(self, rng):
+        pmf = gamma_execution_pmf(80.0, shape=9.0, rng=rng, n_samples=2000)
+        assert pmf.mean() == pytest.approx(80.0, rel=0.1)
+
+    def test_proper_pmf(self, rng):
+        pmf = gamma_execution_pmf(50.0, shape=3.0, rng=rng)
+        assert pmf.is_normalised()
+        assert pmf.support()[0] >= 1
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            gamma_execution_pmf(-1.0, shape=2.0, rng=rng)
+        with pytest.raises(ValueError):
+            gamma_execution_pmf(10.0, shape=0.0, rng=rng)
+
+    def test_bin_width_coarsens_support(self, rng):
+        fine = gamma_execution_pmf(100.0, shape=5.0, rng=np.random.default_rng(3))
+        coarse = gamma_execution_pmf(
+            100.0, shape=5.0, rng=np.random.default_rng(3), bin_width=10
+        )
+        assert np.count_nonzero(coarse.probs) < np.count_nonzero(fine.probs)
+        times = np.nonzero(coarse.probs)[0] + coarse.offset
+        assert np.all(times % 10 == 0)
+
+
+class TestBuildFromMeans:
+    def test_shape_and_names(self, small_gamma_pet):
+        assert small_gamma_pet.num_task_types == 4
+        assert small_gamma_pet.num_machines == 3
+        assert small_gamma_pet.task_types == ("t0", "t1", "t2", "t3")
+
+    def test_entry_means_track_target_means(self, small_gamma_pet):
+        targets = np.array(
+            [
+                [20.0, 35.0, 50.0],
+                [45.0, 25.0, 60.0],
+                [30.0, 40.0, 22.0],
+                [55.0, 50.0, 45.0],
+            ]
+        )
+        measured = small_gamma_pet.mean_execution_times()
+        assert np.allclose(measured, targets, rtol=0.35)
+
+    def test_mismatched_shape_rejected(self):
+        with pytest.raises(ValueError):
+            build_pet_from_means(
+                [[10.0, 20.0]], task_types=["a", "b"], machine_names=["m0", "m1"], rng=1
+            )
+
+    def test_non_positive_means_rejected(self):
+        with pytest.raises(ValueError):
+            build_pet_from_means(
+                [[10.0, -5.0]], task_types=["a"], machine_names=["m0", "m1"], rng=1
+            )
+
+    def test_invalid_shape_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_pet_from_means(
+                [[10.0]], task_types=["a"], machine_names=["m0"], rng=1, shape_range=(0, 0)
+            )
+
+    def test_reproducible_given_seed(self):
+        a = build_pet_from_means(
+            [[30.0, 40.0]], task_types=["a"], machine_names=["m0", "m1"], rng=42
+        )
+        b = build_pet_from_means(
+            [[30.0, 40.0]], task_types=["a"], machine_names=["m0", "m1"], rng=42
+        )
+        assert a.get(0, 0).allclose(b.get(0, 0))
+        assert a.get(0, 1).allclose(b.get(0, 1))
+
+
+class TestSpecPet:
+    def test_spec_mean_matrix_shape(self):
+        assert spec_mean_matrix().shape == (12, 8)
+        assert len(SPEC_TASK_TYPE_NAMES) == 12
+        assert len(SPEC_MACHINE_NAMES) == 8
+
+    def test_spec_means_in_paper_range(self):
+        means = spec_mean_matrix()
+        assert means.min() >= 50.0
+        assert means.max() <= 200.0
+
+    def test_spec_means_are_inconsistently_heterogeneous(self):
+        best_machine_per_type = spec_mean_matrix().argmin(axis=1)
+        assert len(set(best_machine_per_type.tolist())) > 1
+
+    def test_build_spec_pet(self):
+        pet = build_spec_pet(rng=5, n_samples=100)
+        assert pet.num_task_types == 12
+        assert pet.num_machines == 8
+        assert pet.is_inconsistently_heterogeneous()
+
+
+class TestTranscodingPet:
+    def test_dimensions(self):
+        pet = build_transcoding_pet(rng=5, n_samples=100)
+        assert pet.task_types == TRANSCODING_TASK_TYPES
+        assert pet.machine_names == TRANSCODING_MACHINE_NAMES
+
+    def test_gpu_affinity_structure(self):
+        """The GPU VM must be the fastest for codec changes but not for
+        bitrate changes — the inconsistent affinity Figure 9 relies on."""
+        pet = build_transcoding_pet(rng=5, n_samples=300)
+        means = pet.mean_execution_times()
+        gpu = pet.machine_index("gpu")
+        codec = pet.task_type_index("change-codec")
+        bitrate = pet.task_type_index("change-bitrate")
+        assert means[codec].argmin() == gpu
+        assert means[bitrate].argmin() != gpu

@@ -1,0 +1,100 @@
+"""Tests for the sufferage-based fairness tracker (PAMF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pruning.fairness import SufferageTracker
+from repro.simulator.mapping import TerminalEvent
+
+
+class TestSufferageUpdates:
+    def test_initial_sufferage_is_zero(self):
+        tracker = SufferageTracker(4)
+        assert np.all(tracker.values == 0.0)
+
+    def test_failure_raises_success_lowers(self):
+        tracker = SufferageTracker(2, fairness_factor=0.05)
+        tracker.record_failure(0)
+        tracker.record_failure(0)
+        assert tracker.sufferage_of(0) == pytest.approx(0.10)
+        tracker.record_success(0)
+        assert tracker.sufferage_of(0) == pytest.approx(0.05)
+
+    def test_sufferage_clipped_to_unit_interval(self):
+        tracker = SufferageTracker(1, fairness_factor=0.6)
+        tracker.record_success(0)
+        assert tracker.sufferage_of(0) == 0.0
+        tracker.record_failure(0)
+        tracker.record_failure(0)
+        assert tracker.sufferage_of(0) == 1.0
+
+    def test_types_tracked_independently(self):
+        tracker = SufferageTracker(3, fairness_factor=0.1)
+        tracker.record_failure(1)
+        assert tracker.sufferage_of(0) == 0.0
+        assert tracker.sufferage_of(1) == pytest.approx(0.1)
+        assert tracker.sufferage_of(2) == 0.0
+
+    def test_observe_terminal_events(self):
+        tracker = SufferageTracker(2, fairness_factor=0.05)
+        events = [
+            TerminalEvent(task_id=1, task_type=0, on_time=False),
+            TerminalEvent(task_id=2, task_type=0, on_time=False),
+            TerminalEvent(task_id=3, task_type=1, on_time=True),
+        ]
+        tracker.observe_terminal_events(events)
+        assert tracker.sufferage_of(0) == pytest.approx(0.10)
+        assert tracker.sufferage_of(1) == 0.0
+
+    def test_out_of_range_type(self):
+        tracker = SufferageTracker(2)
+        with pytest.raises(IndexError):
+            tracker.record_failure(5)
+        with pytest.raises(IndexError):
+            tracker.sufferage_of(-1)
+
+    def test_reset(self):
+        tracker = SufferageTracker(2, fairness_factor=0.2)
+        tracker.record_failure(0)
+        tracker.reset()
+        assert np.all(tracker.values == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SufferageTracker(0)
+        with pytest.raises(ValueError):
+            SufferageTracker(2, fairness_factor=1.5)
+
+
+class TestThresholdRelaxation:
+    def test_relaxed_threshold_subtracts_sufferage(self):
+        tracker = SufferageTracker(2, fairness_factor=0.25)
+        tracker.record_failure(0)
+        assert tracker.relaxed_threshold(0.9, 0) == pytest.approx(0.65)
+        assert tracker.relaxed_threshold(0.9, 1) == pytest.approx(0.9)
+
+    def test_relaxed_threshold_floors_at_zero(self):
+        tracker = SufferageTracker(1, fairness_factor=1.0)
+        tracker.record_failure(0)
+        assert tracker.relaxed_threshold(0.5, 0) == 0.0
+
+    def test_zero_fairness_factor_never_relaxes(self):
+        tracker = SufferageTracker(2, fairness_factor=0.0)
+        for _ in range(10):
+            tracker.record_failure(1)
+        assert tracker.relaxed_threshold(0.9, 1) == pytest.approx(0.9)
+
+
+class TestFairnessMetric:
+    def test_variance_of_equal_completion_is_zero(self):
+        assert SufferageTracker.fairness_of([50.0, 50.0, 50.0]) == 0.0
+
+    def test_variance_grows_with_imbalance(self):
+        balanced = SufferageTracker.fairness_of([40.0, 50.0, 60.0])
+        skewed = SufferageTracker.fairness_of([5.0, 50.0, 95.0])
+        assert skewed > balanced
+
+    def test_nan_types_ignored(self):
+        assert SufferageTracker.fairness_of([50.0, float("nan")]) == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the cost model (Figure 8 metric)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.pet.builders import TRANSCODING_MACHINE_NAMES
+from repro.pet.spec_data import SPEC_MACHINE_NAMES
+from repro.simulator.cost import (
+    DEFAULT_PRICE,
+    SPEC_MACHINE_PRICES,
+    TRANSCODING_MACHINE_PRICES,
+    cost_per_percent_robustness,
+    default_prices_for,
+    price_for_machine,
+    total_cost,
+)
+
+
+class TestPriceTables:
+    def test_every_spec_machine_has_a_price(self):
+        for name in SPEC_MACHINE_NAMES:
+            assert name in SPEC_MACHINE_PRICES
+            assert SPEC_MACHINE_PRICES[name] > 0
+
+    def test_every_transcoding_machine_has_a_price(self):
+        for name in TRANSCODING_MACHINE_NAMES:
+            assert name in TRANSCODING_MACHINE_PRICES
+
+    def test_gpu_is_most_expensive_vm(self):
+        assert TRANSCODING_MACHINE_PRICES["gpu"] == max(TRANSCODING_MACHINE_PRICES.values())
+
+    def test_unknown_machine_gets_default(self):
+        assert price_for_machine("mystery-box") == DEFAULT_PRICE
+
+    def test_default_prices_aligned(self):
+        prices = default_prices_for(SPEC_MACHINE_NAMES)
+        assert len(prices) == len(SPEC_MACHINE_NAMES)
+        assert prices[0] == SPEC_MACHINE_PRICES[SPEC_MACHINE_NAMES[0]]
+
+
+class TestCostComputation:
+    def test_total_cost_formula(self):
+        assert total_cost([1000, 2000], [0.5, 1.0]) == pytest.approx(0.5 + 2.0)
+
+    def test_total_cost_zero_busy_time(self):
+        assert total_cost([0, 0], [0.5, 1.0]) == 0.0
+
+    def test_total_cost_length_mismatch(self):
+        with pytest.raises(ValueError):
+            total_cost([1.0], [0.5, 1.0])
+
+    def test_cost_per_percent(self):
+        assert cost_per_percent_robustness(10.0, 50.0) == pytest.approx(0.2)
+
+    def test_cost_per_percent_with_zero_robustness_is_infinite(self):
+        assert math.isinf(cost_per_percent_robustness(10.0, 0.0))

@@ -1,0 +1,160 @@
+"""Tests for machines, bounded FCFS queues and their probabilistic snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.completion import DroppingPolicy
+from repro.simulator.machine import Machine
+from repro.simulator.task import Task, TaskStatus
+from repro.workload.spec import TaskSpec
+
+
+def make_task(task_id: int, *, task_type: int = 0, arrival: int = 0, deadline: int = 100) -> Task:
+    return Task(TaskSpec(arrival=arrival, task_id=task_id, task_type=task_type, deadline=deadline))
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(index=0, name="fast-a", queue_capacity=3)
+
+
+class TestQueueMechanics:
+    def test_initial_state(self, machine):
+        assert machine.is_idle
+        assert machine.free_slots == 3
+        assert machine.occupied_slots == 0
+        assert machine.queued_tasks() == []
+
+    def test_enqueue_fills_slots(self, machine):
+        for i in range(3):
+            machine.enqueue(make_task(i), now=0)
+        assert machine.free_slots == 0
+        with pytest.raises(RuntimeError):
+            machine.enqueue(make_task(99), now=0)
+
+    def test_capacity_counts_executing_task(self, machine):
+        machine.enqueue(make_task(0), now=0)
+        machine.start_next(now=0, actual_execution_time=10)
+        machine.enqueue(make_task(1), now=0)
+        machine.enqueue(make_task(2), now=0)
+        assert machine.occupied_slots == 3
+        assert not machine.has_free_slot
+
+    def test_fcfs_order(self, machine):
+        first, second = make_task(0), make_task(1)
+        machine.enqueue(first, now=0)
+        machine.enqueue(second, now=0)
+        started = machine.start_next(now=0, actual_execution_time=5)
+        assert started is first
+        assert machine.pending[0] is second
+
+    def test_start_requires_idle_machine(self, machine):
+        machine.enqueue(make_task(0), now=0)
+        machine.start_next(now=0, actual_execution_time=5)
+        machine.enqueue(make_task(1), now=0)
+        with pytest.raises(RuntimeError):
+            machine.start_next(now=1, actual_execution_time=5)
+
+    def test_start_requires_pending_task(self, machine):
+        with pytest.raises(RuntimeError):
+            machine.start_next(now=0, actual_execution_time=5)
+
+    def test_finish_accumulates_busy_time(self, machine):
+        task = make_task(0)
+        machine.enqueue(task, now=0)
+        machine.start_next(now=5, actual_execution_time=10)
+        machine.finish_executing(task, now=15)
+        assert machine.busy_time == 10
+        assert machine.is_idle
+
+    def test_finish_rejects_wrong_task(self, machine):
+        task, other = make_task(0), make_task(1)
+        machine.enqueue(task, now=0)
+        machine.start_next(now=0, actual_execution_time=5)
+        with pytest.raises(RuntimeError):
+            machine.finish_executing(other, now=5)
+
+    def test_remove_pending(self, machine):
+        task = make_task(0)
+        machine.enqueue(task, now=0)
+        machine.remove_pending(task)
+        assert machine.occupied_slots == 0
+        with pytest.raises(RuntimeError):
+            machine.remove_pending(task)
+
+    def test_queue_version_bumps_on_mutations(self, machine):
+        version = machine.queue_version
+        task = make_task(0)
+        machine.enqueue(task, now=0)
+        assert machine.queue_version > version
+        version = machine.queue_version
+        machine.start_next(now=0, actual_execution_time=3)
+        assert machine.queue_version > version
+        version = machine.queue_version
+        machine.finish_executing(task, now=3)
+        assert machine.queue_version > version
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Machine(0, "x", queue_capacity=0)
+        with pytest.raises(ValueError):
+            Machine(0, "x", price_per_time=-1)
+
+
+class TestProbabilisticSnapshots:
+    def test_idle_machine_availability_is_now(self, machine, tiny_pet):
+        availability = machine.availability_pmf(tiny_pet, now=42)
+        assert availability.probability_at(42) == pytest.approx(1.0)
+
+    def test_snapshot_tracks_queue_depth(self, machine, tiny_pet):
+        for i, deadline in enumerate((200, 220, 240)):
+            machine.enqueue(make_task(i, task_type=0, deadline=deadline), now=0)
+        snapshot = machine.queue_snapshot(tiny_pet, now=0, policy=DroppingPolicy.NONE)
+        assert len(snapshot.tasks) == 3
+        assert len(snapshot.completion_pmfs) == 3
+        means = [p.mean() for p in snapshot.completion_pmfs]
+        assert means[0] < means[1] < means[2]
+
+    def test_availability_reflects_executing_task_start(self, machine, tiny_pet):
+        task = make_task(0, task_type=0, deadline=300)
+        machine.enqueue(task, now=0)
+        machine.start_next(now=50, actual_execution_time=5)
+        availability = machine.availability_pmf(tiny_pet, now=60, policy=DroppingPolicy.NONE)
+        # anchored at the start time 50 plus the PET support of type 0 on machine 0
+        assert availability.support()[0] >= 54
+        assert availability.mean() == pytest.approx(50 + tiny_pet.get(0, 0).mean())
+
+    def test_evict_policy_bounds_availability_by_deadline(self, machine, tiny_pet):
+        task = make_task(0, task_type=2, deadline=10)  # gamma: long execution, tight deadline
+        machine.enqueue(task, now=0)
+        machine.start_next(now=0, actual_execution_time=20)
+        availability = machine.availability_pmf(tiny_pet, now=1, policy=DroppingPolicy.EVICT)
+        assert availability.support()[1] <= 10
+
+    def test_conditioned_pmf_excludes_past(self, machine, tiny_pet):
+        task = make_task(0, task_type=0, deadline=300)
+        machine.enqueue(task, now=0)
+        machine.start_next(now=0, actual_execution_time=6)
+        conditioned = machine.executing_completion_pmf(tiny_pet, now=5, condition_on_now=True)
+        assert conditioned.support()[0] >= 6
+        assert conditioned.is_normalised()
+
+    def test_conditioned_pmf_when_overdue(self, machine, tiny_pet):
+        task = make_task(0, task_type=0, deadline=300)
+        machine.enqueue(task, now=0)
+        machine.start_next(now=0, actual_execution_time=50)
+        # Far beyond the PET support: the conditional distribution is empty,
+        # the machine is assumed to free up at the next tick.
+        conditioned = machine.executing_completion_pmf(tiny_pet, now=200, condition_on_now=True)
+        assert conditioned.probability_at(201) == pytest.approx(1.0)
+
+    def test_snapshot_cache_reused_until_queue_changes(self, machine, tiny_pet):
+        machine.enqueue(make_task(0, deadline=500), now=0)
+        first = machine.queue_snapshot(tiny_pet, now=0)
+        second = machine.queue_snapshot(tiny_pet, now=10)
+        assert second is first  # cached: queue unchanged, anchoring not time-dependent
+        machine.enqueue(make_task(1, deadline=500), now=10)
+        third = machine.queue_snapshot(tiny_pet, now=10)
+        assert third is not first
+        assert len(third.tasks) == 2

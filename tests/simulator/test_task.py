@@ -1,0 +1,97 @@
+"""Tests for runtime task state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.task import DropReason, Task, TaskStatus
+from repro.workload.spec import TaskSpec
+
+
+@pytest.fixture
+def task() -> Task:
+    return Task(TaskSpec(arrival=10, task_id=1, task_type=2, deadline=60))
+
+
+class TestProperties:
+    def test_spec_passthrough(self, task):
+        assert task.task_id == 1
+        assert task.task_type == 2
+        assert task.arrival == 10
+        assert task.deadline == 60
+
+    def test_initial_state(self, task):
+        assert task.status is TaskStatus.PENDING
+        assert not task.is_terminal
+        assert not task.on_time
+        assert task.busy_time == 0
+
+
+class TestLifecycle:
+    def test_normal_on_time_completion(self, task):
+        task.mark_mapped(machine=3, now=12)
+        assert task.status is TaskStatus.QUEUED
+        task.mark_executing(now=20, actual_execution_time=15)
+        assert task.status is TaskStatus.EXECUTING
+        task.mark_completed(now=35)
+        assert task.status is TaskStatus.COMPLETED
+        assert task.on_time
+        assert task.busy_time == 15
+        assert task.is_terminal
+
+    def test_late_completion_not_on_time(self, task):
+        task.mark_mapped(0, 12)
+        task.mark_executing(now=50, actual_execution_time=30)
+        task.mark_completed(now=80)
+        assert task.status is TaskStatus.COMPLETED
+        assert not task.on_time
+
+    def test_completion_exactly_at_deadline_is_on_time(self, task):
+        task.mark_mapped(0, 12)
+        task.mark_executing(now=40, actual_execution_time=20)
+        task.mark_completed(now=60)
+        assert task.on_time
+
+    def test_drop_while_pending(self, task):
+        task.mark_dropped(now=70, reason=DropReason.DEADLINE_MISS_UNMAPPED)
+        assert task.status is TaskStatus.DROPPED
+        assert task.drop_reason is DropReason.DEADLINE_MISS_UNMAPPED
+        assert task.dropped_at == 70
+        assert not task.on_time
+
+    def test_drop_while_executing_records_busy_time(self, task):
+        task.mark_mapped(1, 12)
+        task.mark_executing(now=20, actual_execution_time=100)
+        task.mark_dropped(now=60, reason=DropReason.DEADLINE_MISS_EXECUTING)
+        assert task.busy_time == 40
+        assert task.exec_end == 60
+
+    def test_pruned_drop(self, task):
+        task.mark_mapped(1, 12)
+        task.mark_dropped(now=30, reason=DropReason.PRUNED)
+        assert task.drop_reason is DropReason.PRUNED
+
+
+class TestInvalidTransitions:
+    def test_cannot_execute_from_pending(self, task):
+        with pytest.raises(RuntimeError):
+            task.mark_executing(now=20, actual_execution_time=5)
+
+    def test_cannot_complete_without_executing(self, task):
+        with pytest.raises(RuntimeError):
+            task.mark_completed(now=20)
+
+    def test_cannot_map_terminal_task(self, task):
+        task.mark_dropped(10, DropReason.PRUNED)
+        with pytest.raises(RuntimeError):
+            task.mark_mapped(0, 11)
+
+    def test_cannot_drop_twice(self, task):
+        task.mark_dropped(10, DropReason.PRUNED)
+        with pytest.raises(RuntimeError):
+            task.mark_dropped(11, DropReason.PRUNED)
+
+    def test_execution_time_must_be_positive(self, task):
+        task.mark_mapped(0, 12)
+        with pytest.raises(ValueError):
+            task.mark_executing(now=20, actual_execution_time=0)

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.heuristic == "PAM"
+        assert args.workload == "spec"
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(["figure", "7", "--trials", "3"])
+        assert args.command == "figure"
+        assert args.number == 7
+        assert args.trials == 3
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--heuristic", "WHAT"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSimulateCommand:
+    def test_runs_small_simulation(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--heuristic",
+                "MM",
+                "--tasks",
+                "60",
+                "--span",
+                "500",
+                "--workload",
+                "transcoding",
+                "--warmup",
+                "5",
+                "--cooldown",
+                "5",
+                "--seed",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "robustness" in captured
+        assert "outcomes:" in captured
+
+    def test_pruning_heuristic_runs(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--heuristic",
+                "PAMF",
+                "--tasks",
+                "50",
+                "--span",
+                "400",
+                "--workload",
+                "transcoding",
+                "--seed",
+                "4",
+                "--warmup",
+                "5",
+                "--cooldown",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        assert "cost / percent" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_figure9_with_artifacts(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "figure",
+                "9",
+                "--trials",
+                "1",
+                "--task-scale",
+                "0.4",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 9" in captured
+        records = json.loads((tmp_path / "figure9.json").read_text())
+        assert records and "heuristic" in records[0]
+        assert (tmp_path / "figure9.csv").exists()
+        assert (tmp_path / "figure9.txt").exists()

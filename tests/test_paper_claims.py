@@ -1,0 +1,134 @@
+"""End-to-end tests of the paper's qualitative claims.
+
+These run full (but moderately sized) simulations and assert the *shape* of
+the paper's headline results: probabilistic pruning improves robustness over
+the baselines in an oversubscribed system, the deferring threshold matters,
+fairness reduces the per-type completion variance, and pruning reduces the
+incurred cost per on-time completion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.pruning.thresholds import PruningThresholds
+from repro.simulator import SimulatorConfig
+
+
+@pytest.fixture(scope="module")
+def spec_pet():
+    # Smaller sample count than the default keeps this module quick while
+    # preserving the PET structure.
+    return repro.build_spec_pet(rng=2019, n_samples=200)
+
+
+@pytest.fixture(scope="module")
+def oversubscribed_trace(spec_pet):
+    config = repro.WorkloadConfig(num_tasks=420, time_span=2000, beta=1.5)
+    return repro.generate_workload(config, spec_pet, rng=7)
+
+
+@pytest.fixture(scope="module")
+def results(spec_pet, oversubscribed_trace):
+    """One simulation per heuristic on the same oversubscribed trace."""
+    out = {}
+    for name in repro.HEURISTIC_NAMES:
+        heuristic = repro.make_heuristic(name, num_task_types=spec_pet.num_task_types)
+        out[name] = repro.simulate(spec_pet, heuristic, oversubscribed_trace, rng=13)
+    return out
+
+
+WARMUP = dict(warmup=30, cooldown=30)
+
+
+class TestRobustnessClaims:
+    def test_system_is_genuinely_oversubscribed(self, spec_pet, oversubscribed_trace, results):
+        assert oversubscribed_trace.offered_load(spec_pet) > 1.5
+        assert results["MM"].robustness_percent(**WARMUP) < 60.0
+
+    def test_pam_beats_every_baseline(self, results):
+        pam = results["PAM"].robustness_percent(**WARMUP)
+        for name in ("MOC", "MM", "MSD", "MMU"):
+            assert pam > results[name].robustness_percent(**WARMUP)
+
+    def test_pam_improvement_is_substantial(self, results):
+        """The paper reports an average improvement of roughly 25 percentage
+        points over the baselines; require at least a 10-point gap here."""
+        pam = results["PAM"].robustness_percent(**WARMUP)
+        mm = results["MM"].robustness_percent(**WARMUP)
+        assert pam - mm >= 10.0
+
+    def test_pamf_lands_between_pam_and_minmin(self, results):
+        pam = results["PAM"].robustness_percent(**WARMUP)
+        pamf = results["PAMF"].robustness_percent(**WARMUP)
+        mm = results["MM"].robustness_percent(**WARMUP)
+        assert mm - 5.0 <= pamf <= pam + 1e-9
+
+    def test_robustness_based_baseline_beats_deadline_chasers(self, results):
+        """MOC (robustness-based) should not lose to MSD/MMU, which the paper
+        shows keep prioritising the least likely tasks."""
+        moc = results["MOC"].robustness_percent(**WARMUP)
+        assert moc >= results["MSD"].robustness_percent(**WARMUP)
+        assert moc >= results["MMU"].robustness_percent(**WARMUP)
+
+
+class TestCostClaims:
+    def test_pruning_lowers_cost_per_on_time_percent(self, results):
+        pam_cost = results["PAM"].cost_per_percent_on_time(**WARMUP)
+        mm_cost = results["MM"].cost_per_percent_on_time(**WARMUP)
+        moc_cost = results["MOC"].cost_per_percent_on_time(**WARMUP)
+        assert pam_cost < mm_cost
+        assert pam_cost < moc_cost
+
+    def test_cost_saving_is_large(self, results):
+        """The paper reports roughly 40% lower cost; require at least 20%."""
+        pam_cost = results["PAM"].cost_per_percent_on_time(**WARMUP)
+        mm_cost = results["MM"].cost_per_percent_on_time(**WARMUP)
+        assert pam_cost <= 0.8 * mm_cost
+
+
+class TestThresholdClaims:
+    def test_higher_deferring_threshold_helps(self, spec_pet, oversubscribed_trace):
+        """Figure 5's main trend: with the dropping threshold fixed, a higher
+        deferring threshold gives higher robustness."""
+        def run_with(deferring):
+            thresholds = PruningThresholds(dropping=0.25, deferring=deferring)
+            heuristic = repro.PruningAwareMapper(thresholds)
+            result = repro.simulate(spec_pet, heuristic, oversubscribed_trace, rng=13)
+            return result.robustness_percent(**WARMUP)
+
+        low = run_with(0.30)
+        high = run_with(0.90)
+        assert high > low
+
+
+class TestFairnessClaims:
+    def test_fairness_factor_reduces_variance(self, spec_pet, oversubscribed_trace):
+        """Figure 6's trend: a 5-10% fairness factor reduces the variance of
+        per-type completion percentages compared to no fairness."""
+        def run_with(factor):
+            heuristic = repro.FairPruningMapper(
+                spec_pet.num_task_types, fairness_factor=factor
+            )
+            result = repro.simulate(spec_pet, heuristic, oversubscribed_trace, rng=13)
+            return result
+
+        none = run_with(0.0)
+        fair = run_with(0.10)
+        assert fair.fairness_variance(**WARMUP) <= none.fairness_variance(**WARMUP)
+
+
+class TestEvictionAblation:
+    def test_pam_advantage_grows_without_automatic_eviction(self, spec_pet, oversubscribed_trace):
+        """When the system cannot evict overdue executing tasks on its own,
+        the baselines waste far more machine time and PAM's relative
+        advantage grows — the 'wasted time cascades' effect of Section I."""
+        config = SimulatorConfig(evict_executing_at_deadline=False)
+        mm = repro.simulate(
+            spec_pet, repro.make_heuristic("MM"), oversubscribed_trace, config=config, rng=13
+        )
+        pam = repro.simulate(
+            spec_pet, repro.make_heuristic("PAM"), oversubscribed_trace, config=config, rng=13
+        )
+        assert pam.robustness_percent(**WARMUP) > 1.5 * mm.robustness_percent(**WARMUP)

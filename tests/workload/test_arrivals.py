@@ -1,0 +1,93 @@
+"""Tests for gamma inter-arrival generation (Section VI-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    gamma_interarrival_times,
+    generate_arrival_times,
+    spread_tasks_over_types,
+)
+
+
+class TestGammaInterarrivals:
+    def test_mean_matches_target(self, rng):
+        gaps = gamma_interarrival_times(20_000, mean=12.0, rng=rng)
+        assert gaps.mean() == pytest.approx(12.0, rel=0.05)
+
+    def test_variance_fraction_controls_spread(self, rng):
+        tight = gamma_interarrival_times(20_000, mean=10.0, rng=np.random.default_rng(1), variance_fraction=0.1)
+        loose = gamma_interarrival_times(20_000, mean=10.0, rng=np.random.default_rng(1), variance_fraction=2.0)
+        assert tight.var() < loose.var()
+        assert tight.var() == pytest.approx(1.0, rel=0.1)  # 10% of the mean of 10
+
+    def test_zero_count(self, rng):
+        assert gamma_interarrival_times(0, mean=5.0, rng=rng).size == 0
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            gamma_interarrival_times(-1, mean=5.0, rng=rng)
+        with pytest.raises(ValueError):
+            gamma_interarrival_times(5, mean=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            gamma_interarrival_times(5, mean=5.0, rng=rng, variance_fraction=0.0)
+
+    def test_all_positive(self, rng):
+        gaps = gamma_interarrival_times(1000, mean=3.0, rng=rng)
+        assert np.all(gaps > 0)
+
+
+class TestSpreadTasksOverTypes:
+    def test_even_split(self):
+        assert spread_tasks_over_types(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_first_types(self):
+        assert spread_tasks_over_types(10, 4) == [3, 3, 2, 2]
+
+    def test_total_preserved(self):
+        for total in (0, 1, 7, 100, 801):
+            for types in (1, 3, 12):
+                assert sum(spread_tasks_over_types(total, types)) == total
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            spread_tasks_over_types(-1, 3)
+        with pytest.raises(ValueError):
+            spread_tasks_over_types(5, 0)
+
+
+class TestGenerateArrivalTimes:
+    def test_count_and_sortedness(self):
+        arrivals = generate_arrival_times(200, 1000, 4, rng=3)
+        assert len(arrivals) == 200
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+
+    def test_all_types_present(self):
+        arrivals = generate_arrival_times(120, 1000, 6, rng=3)
+        assert {tt for _, tt in arrivals} == set(range(6))
+
+    def test_types_roughly_balanced(self):
+        arrivals = generate_arrival_times(600, 2000, 3, rng=3)
+        counts = np.bincount([tt for _, tt in arrivals], minlength=3)
+        assert counts.min() >= 150
+
+    def test_arrival_times_positive_integers(self):
+        arrivals = generate_arrival_times(100, 500, 2, rng=3)
+        assert all(isinstance(t, int) and t >= 1 for t, _ in arrivals)
+
+    def test_span_roughly_respected(self):
+        arrivals = generate_arrival_times(400, 2000, 4, rng=3)
+        last = max(t for t, _ in arrivals)
+        assert 1500 <= last <= 2600
+
+    def test_reproducibility(self):
+        a = generate_arrival_times(50, 500, 3, rng=9)
+        b = generate_arrival_times(50, 500, 3, rng=9)
+        assert a == b
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            generate_arrival_times(10, 0, 2, rng=1)

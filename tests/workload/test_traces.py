@@ -1,0 +1,48 @@
+"""Tests for workload trace persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workload.traces import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, small_trace):
+        rebuilt = trace_from_dict(trace_to_dict(small_trace))
+        assert list(rebuilt) == list(small_trace)
+        assert rebuilt.config == small_trace.config
+        assert rebuilt.num_task_types == small_trace.num_task_types
+
+    def test_file_round_trip(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "nested" / "trace.json")
+        assert path.exists()
+        loaded = load_trace(path)
+        assert list(loaded) == list(small_trace)
+
+    def test_serialised_payload_is_plain_json(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-workload-trace"
+        assert len(payload["tasks"]) == len(small_trace)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, small_trace):
+        payload = trace_to_dict(small_trace)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(payload)
+
+    def test_tasks_are_resorted_on_load(self, small_trace):
+        payload = trace_to_dict(small_trace)
+        payload["tasks"] = list(reversed(payload["tasks"]))
+        rebuilt = trace_from_dict(payload)
+        arrivals = [t.arrival for t in rebuilt]
+        assert arrivals == sorted(arrivals)
