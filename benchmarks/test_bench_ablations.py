@@ -4,54 +4,63 @@ Each ablation runs the same oversubscribed workload with one mechanism
 toggled, quantifying how much of PAM's advantage comes from deferring,
 dropping, the dynamic per-task threshold (Eq. 7), impulse aggregation, and
 the system's automatic eviction of overdue executing tasks.
+
+Every variant is expressed as a declarative :class:`repro.sweep.SweepPoint`
+and executed through :func:`repro.sweep.run_sweep` — the ablation toggles
+(pruning stages, threshold dynamics, impulse cap, eviction semantics) are
+all first-class fields of the sweep spec.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
-from repro.experiments.config import workload_for_level
-from repro.experiments.runner import run_series
-from repro.heuristics.pam import PruningAwareMapper
-from repro.pet.builders import build_spec_pet
+from repro.experiments.config import ExperimentConfig, workload_for_level
 from repro.pruning.thresholds import PruningThresholds
+from repro.sweep import HeuristicSpec, PETSpec, SweepPoint, SweepSpec, run_sweep
 
 
 @pytest.fixture(scope="module")
-def pet():
-    return build_spec_pet(rng=2019)
+def pet_spec():
+    return PETSpec(kind="spec", seed=2019)
 
 
-def _run(pet, config, *, label, factory, evict=True):
-    return run_series(
+def _run(
+    pet_spec: PETSpec,
+    config: ExperimentConfig,
+    *,
+    label: str,
+    heuristic: HeuristicSpec,
+    evict: bool = True,
+) -> float:
+    point = SweepPoint(
         label=label,
-        pet=pet,
-        heuristic_factory=factory,
+        pet=pet_spec,
+        heuristic=heuristic,
         workload=workload_for_level("34k", config),
         config=config,
         evict_executing_at_deadline=evict,
     )
+    outcome = run_sweep(SweepSpec(points=(point,)))
+    return outcome.series()[0].mean_robustness()
 
 
-def test_bench_ablation_pruning_stages(benchmark, pet, smoke_config):
+def test_bench_ablation_pruning_stages(benchmark, pet_spec, smoke_config):
     """Deferring-only vs dropping-only vs both vs neither."""
 
     variants = {
-        "defer+drop": dict(enable_deferring=True, enable_dropping=True),
-        "defer-only": dict(enable_deferring=True, enable_dropping=False),
-        "drop-only": dict(enable_deferring=False, enable_dropping=True),
-        "neither": dict(enable_deferring=False, enable_dropping=False),
+        "defer+drop": HeuristicSpec("PAM", enable_deferring=True, enable_dropping=True),
+        "defer-only": HeuristicSpec("PAM", enable_deferring=True, enable_dropping=False),
+        "drop-only": HeuristicSpec("PAM", enable_deferring=False, enable_dropping=True),
+        "neither": HeuristicSpec("PAM", enable_deferring=False, enable_dropping=False),
     }
 
     def run_all():
         return {
-            name: _run(
-                pet,
-                smoke_config,
-                label=name,
-                factory=lambda kwargs=kwargs: PruningAwareMapper(**kwargs),
-            ).mean_robustness()
-            for name, kwargs in variants.items()
+            name: _run(pet_spec, smoke_config, label=name, heuristic=heuristic)
+            for name, heuristic in variants.items()
         }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -65,23 +74,21 @@ def test_bench_ablation_pruning_stages(benchmark, pet, smoke_config):
     benchmark.extra_info.update(results)
 
 
-def test_bench_ablation_dynamic_threshold(benchmark, pet, smoke_config):
+def test_bench_ablation_dynamic_threshold(benchmark, pet_spec, smoke_config):
     """Eq. 7 per-task threshold adjustment on vs off."""
 
     def run_both():
-        dynamic = _run(
-            pet,
-            smoke_config,
-            label="dynamic",
-            factory=lambda: PruningAwareMapper(PruningThresholds(dynamic_per_task=True)),
-        ).mean_robustness()
-        static = _run(
-            pet,
-            smoke_config,
-            label="static",
-            factory=lambda: PruningAwareMapper(PruningThresholds(dynamic_per_task=False)),
-        ).mean_robustness()
-        return {"dynamic": dynamic, "static": static}
+        return {
+            name: _run(
+                pet_spec,
+                smoke_config,
+                label=name,
+                heuristic=HeuristicSpec(
+                    "PAM", thresholds=PruningThresholds(dynamic_per_task=dynamic)
+                ),
+            )
+            for name, dynamic in (("dynamic", True), ("static", False))
+        }
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     print()
@@ -90,20 +97,16 @@ def test_bench_ablation_dynamic_threshold(benchmark, pet, smoke_config):
     benchmark.extra_info.update(results)
 
 
-def test_bench_ablation_impulse_aggregation(benchmark, pet, smoke_config):
+def test_bench_ablation_impulse_aggregation(benchmark, pet_spec, smoke_config):
     """Impulse-aggregation cap: accuracy/cost trade-off (Section IV remark)."""
-    from dataclasses import replace
 
     def run_levels():
         out = {}
         for cap in (8, 32, 128):
             config = replace(smoke_config, max_impulses=cap)
             out[f"max_impulses={cap}"] = _run(
-                pet,
-                config,
-                label=f"cap{cap}",
-                factory=lambda: PruningAwareMapper(),
-            ).mean_robustness()
+                pet_spec, config, label=f"cap{cap}", heuristic=HeuristicSpec("PAM")
+            )
         return out
 
     results = benchmark.pedantic(run_levels, rounds=1, iterations=1)
@@ -115,24 +118,19 @@ def test_bench_ablation_impulse_aggregation(benchmark, pet, smoke_config):
     benchmark.extra_info.update(results)
 
 
-def test_bench_ablation_no_automatic_eviction(benchmark, pet, smoke_config):
+def test_bench_ablation_no_automatic_eviction(benchmark, pet_spec, smoke_config):
     """System semantics: with automatic deadline eviction disabled, pruning
     becomes the only defence against wasted work and PAM's advantage grows."""
-    from repro.heuristics.registry import make_heuristic
 
     def run_both_systems():
         out = {}
         for evict in (True, False):
             pam = _run(
-                pet, smoke_config, label="pam", factory=lambda: PruningAwareMapper(), evict=evict
-            ).mean_robustness()
+                pet_spec, smoke_config, label="pam", heuristic=HeuristicSpec("PAM"), evict=evict
+            )
             mm = _run(
-                pet,
-                smoke_config,
-                label="mm",
-                factory=lambda: make_heuristic("MM"),
-                evict=evict,
-            ).mean_robustness()
+                pet_spec, smoke_config, label="mm", heuristic=HeuristicSpec("MM"), evict=evict
+            )
             out[f"evict={evict}"] = {"PAM": pam, "MM": mm}
         return out
 

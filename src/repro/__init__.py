@@ -12,7 +12,9 @@ The package is organised bottom-up:
 * :mod:`repro.pruning` — dropping/deferring thresholds, oversubscription
   detection, fairness (Section V);
 * :mod:`repro.heuristics` — PAM, PAMF and the four baseline mappers;
-* :mod:`repro.experiments` — drivers regenerating every evaluation figure.
+* :mod:`repro.experiments` — drivers regenerating every evaluation figure;
+* :mod:`repro.sweep` — parallel experiment orchestration with a
+  content-addressed result cache (declarative grids, process-pool fan-out).
 
 Quickstart::
 
@@ -63,6 +65,16 @@ from .simulator import (
     SimulatorConfig,
     simulate,
 )
+from .sweep import (
+    HeuristicSpec,
+    ParallelExecutor,
+    PETSpec,
+    ResultCache,
+    SweepOutcome,
+    SweepPoint,
+    SweepSpec,
+    run_sweep,
+)
 from .workload import TaskSpec, WorkloadConfig, WorkloadTrace, generate_workload
 
 __version__ = "0.1.0"
@@ -106,4 +118,13 @@ __all__ = [
     "MinCompletionMaxUrgency",
     "HEURISTIC_NAMES",
     "make_heuristic",
+    # sweep orchestration
+    "PETSpec",
+    "HeuristicSpec",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepOutcome",
+    "ParallelExecutor",
+    "ResultCache",
+    "run_sweep",
 ]

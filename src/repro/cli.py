@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Two subcommands cover the common workflows:
+Three subcommands cover the common workflows:
 
 ``simulate``
     Run one workload trial with a chosen heuristic and print the headline
@@ -10,11 +10,19 @@ Two subcommands cover the common workflows:
     Regenerate one of the paper's evaluation figures (4-9) and print the
     table of series; optionally write text/CSV/JSON artefacts.
 
+``sweep``
+    Regenerate one or more figures through the :mod:`repro.sweep`
+    orchestration subsystem: trials fan out over ``--jobs`` worker
+    processes, per-point progress streams to stderr, and completed points
+    are cached under ``--cache-dir`` so interrupted or repeated sweeps
+    resume instantly.
+
 Examples::
 
     python -m repro.cli simulate --heuristic PAM --tasks 500 --span 2500
     python -m repro.cli figure 7 --trials 2
     python -m repro.cli figure 9 --trials 3 --output-dir results/
+    python -m repro.cli sweep 4 7 --jobs 4 --cache-dir results/cache
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from .experiments import (
 )
 from .experiments.reporting import save_figure_result
 from .heuristics.registry import HEURISTIC_NAMES
+from .sweep import StreamReporter
 
 __all__ = ["main", "build_parser"]
 
@@ -54,6 +63,13 @@ _FIGURES: dict[int, tuple[Callable[..., object], list[str]]] = {
     8: (run_fig8, ["level", "heuristic", "total cost", "robustness %", "cost / percent on-time"]),
     9: (run_fig9, ["level", "heuristic", "robustness %", "ci95"]),
 }
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,12 +97,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = subparsers.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("number", type=int, choices=sorted(_FIGURES), help="figure number (4-9)")
-    fig.add_argument("--trials", type=int, default=2, help="workload trials per data point")
-    fig.add_argument("--seed", type=int, default=2019)
-    fig.add_argument("--task-scale", type=float, default=1.0, help="scale factor on task counts")
-    fig.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
+    _add_figure_run_arguments(fig)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="regenerate figures in parallel with result caching"
+    )
+    sweep.add_argument(
+        "numbers",
+        type=int,
+        nargs="+",
+        choices=sorted(_FIGURES),
+        help="figure numbers to sweep (4-9)",
+    )
+    _add_figure_run_arguments(sweep)
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress on stderr"
+    )
 
     return parser
+
+
+def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``figure`` and ``sweep`` (both run figure drivers)."""
+    parser.add_argument("--trials", type=int, default=2, help="workload trials per data point")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--task-scale", type=float, default=1.0, help="scale factor on task counts")
+    parser.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
+    parser.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    parser.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -120,15 +158,33 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_figure(args: argparse.Namespace) -> int:
-    driver, headers = _FIGURES[args.number]
+def _run_figure(
+    number: int,
+    args: argparse.Namespace,
+    *,
+    progress: Callable | None = None,
+) -> None:
+    driver, headers = _FIGURES[number]
     config = ExperimentConfig(trials=args.trials, seed=args.seed, task_scale=args.task_scale)
-    result = driver(config)
+    result = driver(
+        config, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+    )
     print(result.to_text())
     if args.output_dir is not None:
-        paths = save_figure_result(result, headers, args.output_dir, name=f"figure{args.number}")
+        paths = save_figure_result(result, headers, args.output_dir, name=f"figure{number}")
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}")
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    _run_figure(args.number, args)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else StreamReporter()
+    for number in args.numbers:
+        _run_figure(number, args, progress=progress)
     return 0
 
 
@@ -138,6 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_simulate(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

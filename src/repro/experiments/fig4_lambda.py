@@ -13,13 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..heuristics.pam import PruningAwareMapper
-from ..pet.builders import build_spec_pet
-from ..pruning.oversubscription import OversubscriptionDetector
+from pathlib import Path
+
 from ..pruning.thresholds import PruningThresholds
+from ..sweep import HeuristicSpec, PETSpec, SweepPoint, SweepSpec, run_sweep
+from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, workload_for_level
-from .runner import SeriesResult, run_series
+from .runner import SeriesResult
 
 __all__ = ["Fig4Result", "run_fig4", "DEFAULT_LAMBDAS"]
 
@@ -71,28 +72,38 @@ def run_fig4(
     level: str = "34k",
     lambdas: Sequence[float] = DEFAULT_LAMBDAS,
     thresholds: PruningThresholds | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Fig4Result:
-    """Regenerate Figure 4's two curves."""
+    """Regenerate Figure 4's two curves (via the sweep subsystem)."""
     config = config or ExperimentConfig()
     thresholds = thresholds or PruningThresholds()
-    pet = build_spec_pet(rng=config.seed)
+    pet = PETSpec(kind="spec", seed=config.seed)
     workload = workload_for_level(level, config)
-    result = Fig4Result(level=level)
+    keys: list[tuple[float, str]] = []
+    points: list[SweepPoint] = []
     for lam in lambdas:
         for mode in TOGGLE_MODES:
             separation = 0.2 if mode == "schmitt" else 0.0
-
-            def factory(lam=lam, separation=separation):
-                detector = OversubscriptionDetector(
-                    ewma_weight=lam, schmitt_separation=separation
+            keys.append((lam, mode))
+            points.append(
+                SweepPoint(
+                    label=f"lambda={lam:.1f},{mode}",
+                    pet=pet,
+                    heuristic=HeuristicSpec(
+                        name="PAM",
+                        thresholds=thresholds,
+                        ewma_weight=lam,
+                        schmitt_separation=separation,
+                    ),
+                    workload=workload,
+                    config=config,
                 )
-                return PruningAwareMapper(thresholds, detector=detector)
-
-            result.series[(lam, mode)] = run_series(
-                label=f"lambda={lam:.1f},{mode}",
-                pet=pet,
-                heuristic_factory=factory,
-                workload=workload,
-                config=config,
             )
+    outcome = run_sweep(
+        SweepSpec(points=tuple(points)), jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    result = Fig4Result(level=level)
+    result.series.update(outcome.series_map(keys))
     return result

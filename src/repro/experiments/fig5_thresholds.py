@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..heuristics.pam import PruningAwareMapper
-from ..pet.builders import build_spec_pet
+from pathlib import Path
+
 from ..pruning.thresholds import PruningThresholds
+from ..sweep import HeuristicSpec, PETSpec, SweepPoint, SweepSpec, run_sweep
+from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, workload_for_level
-from .runner import SeriesResult, run_series
+from .runner import SeriesResult
 
 __all__ = ["Fig5Result", "run_fig5", "DEFAULT_DROPPING_THRESHOLDS"]
 
@@ -66,6 +68,9 @@ def run_fig5(
     dropping_thresholds: Sequence[float] = DEFAULT_DROPPING_THRESHOLDS,
     gap_step: float = 0.10,
     max_defer: float = MAX_DEFER,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Fig5Result:
     """Regenerate Figure 5 (defer-threshold sweep per dropping threshold).
 
@@ -75,24 +80,28 @@ def run_fig5(
     config = config or ExperimentConfig()
     if gap_step <= 0:
         raise ValueError("gap_step must be positive")
-    pet = build_spec_pet(rng=config.seed)
+    pet = PETSpec(kind="spec", seed=config.seed)
     workload = workload_for_level(level, config)
-    result = Fig5Result(level=level)
+    keys: list[tuple[float, float]] = []
+    points: list[SweepPoint] = []
     for dropping in dropping_thresholds:
         deferring = dropping
         while deferring <= max_defer + 1e-9:
             thresholds = PruningThresholds(dropping=dropping, deferring=min(deferring, 1.0))
-
-            def factory(thresholds=thresholds):
-                return PruningAwareMapper(thresholds)
-
-            key = (round(dropping, 4), round(min(deferring, 1.0), 4))
-            result.series[key] = run_series(
-                label=f"drop={dropping:.0%},defer={deferring:.0%}",
-                pet=pet,
-                heuristic_factory=factory,
-                workload=workload,
-                config=config,
+            keys.append((round(dropping, 4), round(min(deferring, 1.0), 4)))
+            points.append(
+                SweepPoint(
+                    label=f"drop={dropping:.0%},defer={deferring:.0%}",
+                    pet=pet,
+                    heuristic=HeuristicSpec(name="PAM", thresholds=thresholds),
+                    workload=workload,
+                    config=config,
+                )
             )
             deferring += gap_step
+    outcome = run_sweep(
+        SweepSpec(points=tuple(points)), jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    result = Fig5Result(level=level)
+    result.series.update(outcome.series_map(keys))
     return result

@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..heuristics.pamf import FairPruningMapper
-from ..pet.builders import build_spec_pet
+from pathlib import Path
+
 from ..pruning.thresholds import PruningThresholds
+from ..sweep import HeuristicSpec, PETSpec, SweepPoint, SweepSpec, run_sweep
+from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, workload_for_level
-from .runner import SeriesResult, run_series
+from .runner import SeriesResult
 
 __all__ = ["Fig6Result", "run_fig6", "DEFAULT_FAIRNESS_FACTORS"]
 
@@ -71,26 +73,34 @@ def run_fig6(
     levels: Sequence[str] = DEFAULT_LEVELS,
     fairness_factors: Sequence[float] = DEFAULT_FAIRNESS_FACTORS,
     thresholds: PruningThresholds | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Fig6Result:
     """Regenerate Figure 6 (fairness/robustness trade-off of PAMF)."""
     config = config or ExperimentConfig()
     thresholds = thresholds or PruningThresholds()
-    pet = build_spec_pet(rng=config.seed)
-    result = Fig6Result()
+    pet = PETSpec(kind="spec", seed=config.seed)
+    keys: list[tuple[str, float]] = []
+    points: list[SweepPoint] = []
     for level in levels:
         workload = workload_for_level(level, config)
         for factor in fairness_factors:
-
-            def factory(factor=factor):
-                return FairPruningMapper(
-                    pet.num_task_types, thresholds, fairness_factor=factor
+            keys.append((level, round(factor, 4)))
+            points.append(
+                SweepPoint(
+                    label=f"{level},factor={factor:.0%}",
+                    pet=pet,
+                    heuristic=HeuristicSpec(
+                        name="PAMF", thresholds=thresholds, fairness_factor=factor
+                    ),
+                    workload=workload,
+                    config=config,
                 )
-
-            result.series[(level, round(factor, 4))] = run_series(
-                label=f"{level},factor={factor:.0%}",
-                pet=pet,
-                heuristic_factory=factory,
-                workload=workload,
-                config=config,
             )
+    outcome = run_sweep(
+        SweepSpec(points=tuple(points)), jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    result = Fig6Result()
+    result.series.update(outcome.series_map(keys))
     return result

@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..heuristics.registry import HEURISTIC_NAMES, make_heuristic
-from ..pet.builders import build_spec_pet
+from pathlib import Path
+
+from ..heuristics.registry import HEURISTIC_NAMES
 from ..pruning.thresholds import PruningThresholds
+from ..sweep import HeuristicSpec, PETSpec, SweepSpec, run_sweep
+from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, workload_for_level
-from .runner import SeriesResult, run_series
+from .runner import SeriesResult
 
 __all__ = ["Fig7Result", "run_fig7"]
 
@@ -64,28 +67,27 @@ def run_fig7(
     heuristics: Sequence[str] = HEURISTIC_NAMES,
     thresholds: PruningThresholds | None = None,
     fairness_factor: float = 0.05,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Fig7Result:
     """Regenerate Figure 7 (robustness of all heuristics at both levels)."""
     config = config or ExperimentConfig()
-    pet = build_spec_pet(rng=config.seed)
-    result = Fig7Result()
-    for level in levels:
-        workload = workload_for_level(level, config)
-        for name in heuristics:
-
-            def factory(name=name):
-                return make_heuristic(
-                    name,
-                    num_task_types=pet.num_task_types,
-                    thresholds=thresholds,
-                    fairness_factor=fairness_factor,
-                )
-
-            result.series[(level, name)] = run_series(
-                label=f"{level},{name}",
-                pet=pet,
-                heuristic_factory=factory,
-                workload=workload,
-                config=config,
+    levels = list(dict.fromkeys(levels))
+    heuristics = list(dict.fromkeys(heuristics))
+    spec = SweepSpec.from_grid(
+        pet=PETSpec(kind="spec", seed=config.seed),
+        heuristics={
+            name: HeuristicSpec(
+                name=name, thresholds=thresholds, fairness_factor=fairness_factor
             )
+            for name in heuristics
+        },
+        workloads={level: workload_for_level(level, config) for level in levels},
+        config=config,
+    )
+    outcome = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=progress)
+    result = Fig7Result()
+    keys = [(level, name) for level in levels for name in heuristics]
+    result.series.update(outcome.series_map(keys))
     return result

@@ -13,13 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..heuristics.registry import make_heuristic
-from ..pet.builders import build_spec_pet
+from pathlib import Path
+
 from ..pruning.thresholds import PruningThresholds
 from ..simulator.cost import default_prices_for
+from ..sweep import HeuristicSpec, PETSpec, SweepSpec, pet_for, run_sweep
+from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, workload_for_level
-from .runner import SeriesResult, run_series
+from .runner import SeriesResult
 
 __all__ = ["Fig8Result", "run_fig8"]
 
@@ -78,30 +80,30 @@ def run_fig8(
     heuristics: Sequence[str] = DEFAULT_HEURISTICS,
     thresholds: PruningThresholds | None = None,
     fairness_factor: float = 0.05,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: ProgressCallback | None = None,
 ) -> Fig8Result:
     """Regenerate Figure 8 (cost benefit of pruning)."""
     config = config or ExperimentConfig()
-    pet = build_spec_pet(rng=config.seed)
-    prices = default_prices_for(pet.machine_names)
-    result = Fig8Result()
-    for level in levels:
-        workload = workload_for_level(level, config)
-        for name in heuristics:
-
-            def factory(name=name):
-                return make_heuristic(
-                    name,
-                    num_task_types=pet.num_task_types,
-                    thresholds=thresholds,
-                    fairness_factor=fairness_factor,
-                )
-
-            result.series[(level, name)] = run_series(
-                label=f"{level},{name}",
-                pet=pet,
-                heuristic_factory=factory,
-                workload=workload,
-                config=config,
-                machine_prices=prices,
+    levels = list(dict.fromkeys(levels))
+    heuristics = list(dict.fromkeys(heuristics))
+    pet_spec = PETSpec(kind="spec", seed=config.seed)
+    prices = tuple(default_prices_for(pet_for(pet_spec).machine_names))
+    spec = SweepSpec.from_grid(
+        pet=pet_spec,
+        heuristics={
+            name: HeuristicSpec(
+                name=name, thresholds=thresholds, fairness_factor=fairness_factor
             )
+            for name in heuristics
+        },
+        workloads={level: workload_for_level(level, config) for level in levels},
+        config=config,
+        machine_prices=prices,
+    )
+    outcome = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=progress)
+    result = Fig8Result()
+    keys = [(level, name) for level in levels for name in heuristics]
+    result.series.update(outcome.series_map(keys))
     return result

@@ -17,45 +17,15 @@ import numpy as np
 
 from ..heuristics.base import MappingHeuristic
 from ..pet.matrix import PETMatrix
-from ..simulator.engine import SimulatorConfig, simulate
-from ..simulator.metrics import SimulationResult
+from ..sweep.executor import execute_trials
+from ..sweep.trial import TrialMetrics
 from ..utils.stats import Summary, summarize
-from ..workload.generator import WorkloadConfig, generate_workload
+from ..workload.generator import WorkloadConfig
 from .config import ExperimentConfig
 
 __all__ = ["TrialMetrics", "SeriesResult", "run_series"]
 
 HeuristicFactory = Callable[[], MappingHeuristic]
-
-
-@dataclass(frozen=True)
-class TrialMetrics:
-    """Headline metrics of one simulated trial."""
-
-    robustness_percent: float
-    fairness_variance: float
-    total_cost: float
-    cost_per_percent_on_time: float
-    completed_on_time: int
-    total_tasks: int
-    per_type_completion_percent: tuple[float, ...]
-
-    @classmethod
-    def from_result(
-        cls, result: SimulationResult, *, warmup: int, cooldown: int
-    ) -> "TrialMetrics":
-        per_type = result.per_type_completion_percent(warmup=warmup, cooldown=cooldown)
-        return cls(
-            robustness_percent=result.robustness_percent(warmup=warmup, cooldown=cooldown),
-            fairness_variance=result.fairness_variance(warmup=warmup, cooldown=cooldown),
-            total_cost=result.total_cost(),
-            cost_per_percent_on_time=result.cost_per_percent_on_time(
-                warmup=warmup, cooldown=cooldown
-            ),
-            completed_on_time=result.completed_on_time(warmup=warmup, cooldown=cooldown),
-            total_tasks=len(result.tasks),
-            per_type_completion_percent=tuple(float(x) for x in per_type),
-        )
 
 
 @dataclass
@@ -116,30 +86,21 @@ def run_series(
     streams are derived from ``config.seed`` with ``SeedSequence.spawn`` so
     different heuristics evaluated at the same data point see identical
     arrival traces (paired comparison, as in the paper).
+
+    The trial loop itself lives in :func:`repro.sweep.executor.execute_trials`
+    (the sweep subsystem's serial path); this wrapper is kept for callers
+    that configure heuristics with an arbitrary factory closure rather than
+    a declarative :class:`repro.sweep.HeuristicSpec`.
     """
     series = SeriesResult(label=label)
-    sim_config = SimulatorConfig(
-        queue_capacity=config.queue_capacity,
-        max_impulses=config.max_impulses,
-        evict_executing_at_deadline=evict_executing_at_deadline,
-    )
-    master = np.random.SeedSequence(config.seed)
-    children = master.spawn(config.trials)
-    for trial_index in range(config.trials):
-        workload_seed, execution_seed = children[trial_index].spawn(2)
-        trace = generate_workload(workload, pet, rng=np.random.default_rng(workload_seed))
-        heuristic = heuristic_factory()
-        result = simulate(
-            pet,
-            heuristic,
-            trace,
-            config=sim_config,
+    series.trials.extend(
+        execute_trials(
+            pet=pet,
+            heuristic_factory=heuristic_factory,
+            workload=workload,
+            config=config,
             machine_prices=machine_prices,
-            rng=np.random.default_rng(execution_seed),
+            evict_executing_at_deadline=evict_executing_at_deadline,
         )
-        series.trials.append(
-            TrialMetrics.from_result(
-                result, warmup=config.warmup_tasks, cooldown=config.cooldown_tasks
-            )
-        )
+    )
     return series

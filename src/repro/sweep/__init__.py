@@ -1,0 +1,75 @@
+"""repro.sweep — parallel experiment orchestration with result caching.
+
+The subsystem splits experiment execution into three declarative layers:
+
+* :mod:`repro.sweep.spec` — :class:`SweepSpec`/:class:`SweepPoint` describe a
+  (heuristic x workload x simulator-config) grid as plain data with
+  deterministic per-point seed derivation;
+* :mod:`repro.sweep.executor` — :class:`ParallelExecutor`/:func:`run_sweep`
+  fan trials out over a process pool (``jobs=1`` falls back to the serial
+  loop, bit-identical to the historical ``run_series``);
+* :mod:`repro.sweep.cache` — :class:`ResultCache` persists per-point results
+  as content-addressed JSON artefacts so repeated or interrupted sweeps
+  resume without re-simulating.
+
+Quickstart::
+
+    from repro.experiments.config import ExperimentConfig, workload_for_level
+    from repro.sweep import HeuristicSpec, PETSpec, SweepSpec, run_sweep
+
+    config = ExperimentConfig(trials=4)
+    spec = SweepSpec.from_grid(
+        pet=PETSpec(kind="spec", seed=config.seed),
+        heuristics={name: HeuristicSpec(name) for name in ("PAM", "MM")},
+        workloads={"34k": workload_for_level("34k", config)},
+        config=config,
+    )
+    outcome = run_sweep(spec, jobs=4, cache_dir="results/cache")
+    for series in outcome.series():
+        print(series.label, series.mean_robustness())
+"""
+
+from .cache import CacheStats, ResultCache
+from .executor import (
+    ParallelExecutor,
+    SweepOutcome,
+    execute_point,
+    execute_trials,
+    pet_for,
+    run_sweep,
+)
+from .progress import PointReport, StreamReporter
+from .spec import (
+    CACHE_SCHEMA_VERSION,
+    HeuristicSpec,
+    PETSpec,
+    SweepPoint,
+    SweepSpec,
+    cache_key,
+    point_payload,
+    spawn_trial_seeds,
+)
+from .trial import TrialMetrics, execute_trial
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "HeuristicSpec",
+    "PETSpec",
+    "ParallelExecutor",
+    "PointReport",
+    "ResultCache",
+    "StreamReporter",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepSpec",
+    "TrialMetrics",
+    "cache_key",
+    "execute_point",
+    "execute_trial",
+    "execute_trials",
+    "pet_for",
+    "point_payload",
+    "run_sweep",
+    "spawn_trial_seeds",
+]

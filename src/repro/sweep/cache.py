@@ -1,0 +1,96 @@
+"""Content-addressed on-disk cache of sweep-point results.
+
+Artefacts are JSON files named by the point's content address
+(:func:`repro.sweep.spec.cache_key`), sharded into 256 two-hex-digit
+subdirectories.  Because the address covers every config field and the seed,
+a lookup is either an exact replay of a previous run or a miss — there is no
+invalidation protocol.  Writes go through a temporary file plus
+``os.replace`` so an interrupted sweep never leaves a truncated artefact
+that would poison later runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .spec import CACHE_SCHEMA_VERSION, SweepPoint, point_payload
+from .trial import TrialMetrics
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class ResultCache:
+    """JSON artefact store keyed by sweep-point content address."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, point: SweepPoint) -> Path:
+        key = point.cache_key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, point: SweepPoint) -> list[TrialMetrics] | None:
+        """Return the point's cached trials, or ``None`` on any miss.
+
+        Unreadable or structurally wrong artefacts count as misses rather
+        than errors: the sweep re-executes the point and overwrites them.
+        """
+        path = self.path_for(point)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            trials = [TrialMetrics.from_payload(t) for t in payload["trials"]]
+            if len(trials) != point.config.trials:
+                raise ValueError("trial count mismatch")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return trials
+
+    def store(self, point: SweepPoint, trials: list[TrialMetrics]) -> Path:
+        """Atomically persist one point's trials; returns the artefact path."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": point.cache_key(),
+            "label": point.label,
+            "point": point_payload(point),
+            "trials": [t.to_payload() for t in trials],
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path

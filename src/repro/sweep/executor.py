@@ -1,0 +1,318 @@
+"""Serial and process-parallel execution of sweep specifications.
+
+Two execution paths share one trial primitive (:func:`repro.sweep.trial.execute_trial`):
+
+``jobs=1``
+    In-process serial execution — the exact historical ``run_series`` loop,
+    so results stay bit-identical to the seed implementation (and to what
+    the regression tests pin).
+
+``jobs>1``
+    Trials fan out over a ``concurrent.futures.ProcessPoolExecutor`` at
+    single-trial granularity (a point's trials are independent given their
+    spawned seed sequences), so even a sweep of few points with many trials
+    saturates the pool.  Workers rebuild the PET matrix and heuristic from
+    the declarative specs; a per-process PET memo avoids rebuilding the
+    matrix for every trial.
+
+Either way, per-point results are looked up in / persisted to the optional
+content-addressed :class:`~repro.sweep.cache.ResultCache`, and one
+:class:`~repro.sweep.progress.PointReport` is streamed per finished point.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
+
+from ..simulator.engine import SimulatorConfig
+from .cache import ResultCache
+from .progress import PointReport, ProgressCallback
+from .spec import PETSpec, SweepPoint, SweepSpec, spawn_trial_seeds
+from .trial import TrialMetrics, execute_trial
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.runner import SeriesResult
+    from ..heuristics.base import MappingHeuristic
+    from ..pet.matrix import PETMatrix
+    from ..workload.generator import WorkloadConfig
+
+__all__ = [
+    "SweepOutcome",
+    "ParallelExecutor",
+    "run_sweep",
+    "execute_trials",
+    "execute_point",
+    "pet_for",
+]
+
+HeuristicFactory = Callable[[], "MappingHeuristic"]
+
+
+@lru_cache(maxsize=16)
+def pet_for(spec: PETSpec) -> "PETMatrix":
+    """Per-process memo of built PET matrices (builders are deterministic)."""
+    return spec.build()
+
+
+def _sim_config_for(
+    config: "ExperimentConfig", *, evict_executing_at_deadline: bool
+) -> SimulatorConfig:
+    return SimulatorConfig(
+        queue_capacity=config.queue_capacity,
+        max_impulses=config.max_impulses,
+        evict_executing_at_deadline=evict_executing_at_deadline,
+    )
+
+
+def execute_trials(
+    *,
+    pet: "PETMatrix",
+    heuristic_factory: HeuristicFactory,
+    workload: "WorkloadConfig",
+    config: "ExperimentConfig",
+    machine_prices: Sequence[float] | None = None,
+    evict_executing_at_deadline: bool = True,
+) -> list[TrialMetrics]:
+    """The serial trial loop shared with :func:`repro.experiments.runner.run_series`.
+
+    Trial *k* derives its workload/execution streams from ``config.seed``
+    via ``SeedSequence.spawn``, so different heuristics at the same data
+    point see identical arrival traces (paired comparison, as in the paper).
+    """
+    sim_config = _sim_config_for(
+        config, evict_executing_at_deadline=evict_executing_at_deadline
+    )
+    children = spawn_trial_seeds(config.seed, config.trials)
+    return [
+        execute_trial(
+            pet=pet,
+            heuristic=heuristic_factory(),
+            workload=workload,
+            trial_seed=child,
+            sim_config=sim_config,
+            machine_prices=machine_prices,
+            warmup=config.warmup_tasks,
+            cooldown=config.cooldown_tasks,
+        )
+        for child in children
+    ]
+
+
+def execute_point(point: SweepPoint) -> list[TrialMetrics]:
+    """Run every trial of one point in-process (the ``jobs=1`` path)."""
+    pet = pet_for(point.pet)
+    return execute_trials(
+        pet=pet,
+        heuristic_factory=lambda: point.heuristic.build(pet.num_task_types),
+        workload=point.workload,
+        config=point.config,
+        machine_prices=point.machine_prices,
+        evict_executing_at_deadline=point.evict_executing_at_deadline,
+    )
+
+
+def _execute_point_trial(point: SweepPoint, trial_index: int) -> TrialMetrics:
+    """Worker entry point: run exactly one trial of one point.
+
+    Recomputing ``spawn(trials)[trial_index]`` is deterministic in the
+    master seed and the spawn position, so the streams match the serial
+    loop's bit for bit regardless of which process runs which trial.
+    """
+    pet = pet_for(point.pet)
+    trial_seed = point.trial_seeds()[trial_index]
+    return execute_trial(
+        pet=pet,
+        heuristic=point.heuristic.build(pet.num_task_types),
+        workload=point.workload,
+        trial_seed=trial_seed,
+        sim_config=_sim_config_for(
+            point.config,
+            evict_executing_at_deadline=point.evict_executing_at_deadline,
+        ),
+        machine_prices=point.machine_prices,
+        warmup=point.config.warmup_tasks,
+        cooldown=point.config.cooldown_tasks,
+    )
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one sweep run plus the bookkeeping the tests assert on."""
+
+    points: tuple[SweepPoint, ...]
+    trials_per_point: list[list[TrialMetrics]]
+    #: Number of simulations actually executed (0 on a fully warm cache).
+    executed_trials: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+    reports: list[PointReport] = field(default_factory=list)
+
+    def series(self) -> list["SeriesResult"]:
+        """Wrap each point's trials into a labelled ``SeriesResult``."""
+        from ..experiments.runner import SeriesResult  # runtime-only: avoids a cycle
+
+        out = []
+        for point, trials in zip(self.points, self.trials_per_point):
+            series = SeriesResult(label=point.label)
+            series.trials.extend(trials)
+            out.append(series)
+        return out
+
+    def series_map(self, keys: Iterable[Hashable]) -> dict[Hashable, "SeriesResult"]:
+        """Pair caller-supplied keys with the point series, strictly.
+
+        The figure drivers key their result dicts by (level, heuristic)-style
+        tuples; a length mismatch between their key list and the sweep's
+        points is always a bug (e.g. a grid that deduplicated an input the
+        key list did not), so it raises instead of silently truncating.
+        """
+        keys = list(keys)
+        if len(keys) != len(self.points):
+            raise ValueError(
+                f"{len(keys)} keys supplied for {len(self.points)} sweep points"
+            )
+        return dict(zip(keys, self.series()))
+
+
+class ParallelExecutor:
+    """Drives a :class:`SweepSpec` to completion with caching and progress."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepOutcome:
+        started = time.perf_counter()
+        points = spec.points
+        outcome = SweepOutcome(
+            points=points, trials_per_point=[[] for _ in points]
+        )
+
+        pending: list[int] = []
+        for index, point in enumerate(points):
+            cached = self.cache.load(point) if self.cache is not None else None
+            if cached is not None:
+                outcome.trials_per_point[index] = cached
+                outcome.cache_hits += 1
+                self._report(outcome, index, cached=True, seconds=0.0)
+            else:
+                if self.cache is not None:
+                    outcome.cache_misses += 1
+                pending.append(index)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(outcome, pending)
+            else:
+                self._run_parallel(outcome, pending)
+
+        outcome.seconds = time.perf_counter() - started
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _finish_point(
+        self, outcome: SweepOutcome, index: int, trials: list[TrialMetrics], seconds: float
+    ) -> None:
+        outcome.trials_per_point[index] = trials
+        outcome.executed_trials += len(trials)
+        if self.cache is not None:
+            self.cache.store(outcome.points[index], trials)
+        self._report(outcome, index, cached=False, seconds=seconds)
+
+    def _report(
+        self, outcome: SweepOutcome, index: int, *, cached: bool, seconds: float
+    ) -> None:
+        point = outcome.points[index]
+        report = PointReport.from_trials(
+            outcome.trials_per_point[index],
+            index=index,
+            total=len(outcome.points),
+            label=point.label,
+            key=point.cache_key(),
+            cached=cached,
+            seconds=seconds,
+        )
+        outcome.reports.append(report)
+        if self.progress is not None:
+            self.progress(report)
+
+    def _run_serial(self, outcome: SweepOutcome, pending: list[int]) -> None:
+        for index in pending:
+            point_started = time.perf_counter()
+            trials = execute_point(outcome.points[index])
+            self._finish_point(
+                outcome, index, trials, time.perf_counter() - point_started
+            )
+
+    def _run_parallel(self, outcome: SweepOutcome, pending: list[int]) -> None:
+        points = outcome.points
+        started_at = {index: time.perf_counter() for index in pending}
+        slots: dict[int, list[TrialMetrics | None]] = {
+            index: [None] * points[index].config.trials for index in pending
+        }
+        remaining = {index: points[index].config.trials for index in pending}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(_execute_point_trial, points[index], trial): (index, trial)
+                for index in pending
+                for trial in range(points[index].config.trials)
+            }
+            not_done = set(futures)
+            try:
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, trial = futures[future]
+                        slots[index][trial] = future.result()
+                        remaining[index] -= 1
+                        if remaining[index] == 0:
+                            trials = [t for t in slots[index] if t is not None]
+                            self._finish_point(
+                                outcome,
+                                index,
+                                trials,
+                                time.perf_counter() - started_at[index],
+                            )
+            except BaseException:
+                # Don't let a sweep with thousands of queued trials drain to
+                # completion behind a failure; completed points are already
+                # cached, everything else is abandoned.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> SweepOutcome:
+    """One-call convenience wrapper around :class:`ParallelExecutor`.
+
+    ``cache_dir`` builds a :class:`ResultCache` rooted there; passing an
+    explicit ``cache`` instance takes precedence (e.g. to share counters
+    across several sweeps).
+    """
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(Path(cache_dir))
+    executor = ParallelExecutor(jobs=jobs, cache=cache, progress=progress)
+    return executor.run(spec)

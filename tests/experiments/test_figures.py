@@ -100,3 +100,42 @@ class TestFig9:
             result.robustness("17.5k", "PAMF") - result.robustness("17.5k", "MM")
         )
         assert "transcoding" in result.to_text().lower()
+
+
+class TestDriversThroughSweep:
+    """Every driver routes through repro.sweep: parallel jobs and the result
+    cache must reproduce the serial figures exactly."""
+
+    def test_fig7_parallel_matches_serial(self, fig7_result):
+        parallel = run_fig7(TINY, levels=("34k",), heuristics=("PAM", "MM"), jobs=2)
+        assert parallel.series.keys() == fig7_result.series.keys()
+        for key, series in parallel.series.items():
+            assert series.trials == fig7_result.series[key].trials
+
+    def test_fig7_duplicate_inputs_collapse(self, fig7_result):
+        """Duplicate grid inputs dedupe instead of misaligning keys/series."""
+        duplicated = run_fig7(TINY, levels=("34k", "34k"), heuristics=("PAM", "MM", "PAM"))
+        assert duplicated.series.keys() == fig7_result.series.keys()
+        for key, series in duplicated.series.items():
+            assert series.trials == fig7_result.series[key].trials
+
+    def test_fig9_cache_warm_rerun(self, tmp_path):
+        reports = []
+        cold = run_fig9(
+            TINY,
+            levels=("17.5k",),
+            heuristics=("MM",),
+            cache_dir=tmp_path,
+            progress=reports.append,
+        )
+        assert [r.cached for r in reports] == [False]
+        reports.clear()
+        warm = run_fig9(
+            TINY,
+            levels=("17.5k",),
+            heuristics=("MM",),
+            cache_dir=tmp_path,
+            progress=reports.append,
+        )
+        assert [r.cached for r in reports] == [True]
+        assert warm.series[("17.5k", "MM")].trials == cold.series[("17.5k", "MM")].trials

@@ -1,0 +1,87 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sweep import HeuristicSpec, PETSpec, ResultCache, SweepPoint, TrialMetrics
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture
+def point() -> SweepPoint:
+    return SweepPoint(
+        label="demo",
+        pet=PETSpec(kind="spec", seed=5),
+        heuristic=HeuristicSpec(name="MM"),
+        workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+        config=ExperimentConfig(trials=2, seed=5),
+    )
+
+
+def make_trials(n: int) -> list[TrialMetrics]:
+    return [
+        TrialMetrics(
+            robustness_percent=50.0 + i,
+            fairness_variance=1.0,
+            total_cost=2.0,
+            cost_per_percent_on_time=0.04,
+            completed_on_time=10 + i,
+            total_tasks=40,
+            per_type_completion_percent=(50.0, 60.0),
+        )
+        for i in range(n)
+    ]
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        assert cache.load(point) is None
+        trials = make_trials(2)
+        path = cache.store(point, trials)
+        assert path.exists()
+        assert path.parent.parent == tmp_path
+        assert cache.load(point) == trials
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_artifact_is_self_describing(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        path = cache.store(point, make_trials(2))
+        payload = json.loads(path.read_text())
+        assert payload["key"] == point.cache_key()
+        assert payload["label"] == "demo"
+        assert payload["point"]["heuristic"]["name"] == "MM"
+        assert len(payload["trials"]) == 2
+        assert path.stem == point.cache_key()
+
+    def test_trial_count_mismatch_is_a_miss(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.store(point, make_trials(1))  # wrong count vs config.trials == 2
+        assert cache.load(point) is None
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(point)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.load(point) is None
+
+    def test_no_stray_tmp_files_after_store(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        cache.store(point, make_trials(2))
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestTrialMetricsPayload:
+    def test_roundtrip(self):
+        trial = make_trials(1)[0]
+        assert TrialMetrics.from_payload(trial.to_payload()) == trial
+
+    def test_survives_json(self):
+        trial = make_trials(1)[0]
+        rehydrated = TrialMetrics.from_payload(json.loads(json.dumps(trial.to_payload())))
+        assert rehydrated == trial

@@ -26,6 +26,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "3"])
 
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "4", "7", "--jobs", "4", "--cache-dir", "cache/"]
+        )
+        assert args.command == "sweep"
+        assert args.numbers == [4, 7]
+        assert args.jobs == 4
+        assert args.cache_dir == "cache/"
+
+    def test_figure_accepts_jobs_and_cache_dir(self):
+        args = build_parser().parse_args(
+            ["figure", "9", "--jobs", "2", "--cache-dir", "cache/"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "cache/"
+
+    def test_sweep_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "3"])
+
     def test_unknown_heuristic_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--heuristic", "WHAT"])
@@ -106,3 +126,48 @@ class TestFigureCommand:
         assert records and "heuristic" in records[0]
         assert (tmp_path / "figure9.csv").exists()
         assert (tmp_path / "figure9.txt").exists()
+
+
+class TestSweepCommand:
+    def test_sweep_streams_progress_and_hits_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "9",
+            "--trials",
+            "1",
+            "--task-scale",
+            "0.4",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        assert "robustness" in captured.err  # per-point progress on stderr
+
+        # Warm rerun: every point reported as a cache hit.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        assert "cache" in captured.err
+
+    def test_sweep_quiet_suppresses_progress(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "9",
+                    "--trials",
+                    "1",
+                    "--task-scale",
+                    "0.4",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        assert captured.err == ""
