@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that relative links in README.md and docs/*.md resolve.
+
+Scans every Markdown file for ``[text](target)`` links and verifies that
+each *relative* target exists on disk (anchors and external ``http(s)``/
+``mailto`` links are skipped).  Exits non-zero listing every broken link —
+the CI docs job runs this so the documentation satellite cannot rot
+silently.
+
+Usage::
+
+    python scripts/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links, excluding images' leading ``!`` capture.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    for match in LINK_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for md_file in iter_markdown_files(root):
+        checked += 1
+        errors.extend(check_file(md_file, root))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{len(errors)} broken link(s) in {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} Markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

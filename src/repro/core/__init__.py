@@ -2,9 +2,20 @@
 
 This subpackage implements the paper's mathematical substrate: discrete
 execution/completion-time PMFs, the completion-time model under task dropping
-(Section IV, Eqs. 2-5), and robustness evaluation (Eq. 1).
+(Section IV, Eqs. 2-5), robustness evaluation (Eq. 1), and the batched PMF
+engine (:mod:`repro.core.batch`) that scores whole (task, machine) grids in
+single NumPy calls — bit-identical to the scalar API.
 """
 
+from .batch import (
+    CDFTable,
+    PMFBatch,
+    batched_convolve,
+    batched_expected_completion,
+    batched_shift,
+    batched_success_probability,
+    sequential_sum,
+)
 from .completion import (
     DroppingPolicy,
     completion_pmf,
@@ -24,6 +35,13 @@ from .robustness import (
 __all__ = [
     "DiscretePMF",
     "MASS_TOLERANCE",
+    "PMFBatch",
+    "CDFTable",
+    "sequential_sum",
+    "batched_shift",
+    "batched_convolve",
+    "batched_success_probability",
+    "batched_expected_completion",
     "DroppingPolicy",
     "completion_pmf",
     "pct_no_drop",

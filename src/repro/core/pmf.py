@@ -19,6 +19,16 @@ rest of the library: a NumPy probability vector anchored at an integer
 PMFs are allowed to be *sub-normalised* (total mass below one) because the
 pruning math routinely removes probability mass (e.g. the truncated
 convolution of Eq. 3); helper predicates make the distinction explicit.
+
+This class is deliberately a *thin scalar wrapper* over the same arithmetic
+the batched engine in :mod:`repro.core.batch` uses: reductions
+(:meth:`DiscretePMF.total_mass`, :meth:`DiscretePMF.mean`) accumulate
+strictly left to right (``np.cumsum``) and :meth:`DiscretePMF.convolve_with`
+is the exact scalar counterpart of ``batched_convolve``.  That shared
+op-for-op discipline is what lets the batched kernels guarantee
+bit-identical (``atol=0``) results whether PMFs are scored one at a time or
+as a padded ``(n_pmfs, support)`` block — see the exact-equivalence contract
+documented in :mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
@@ -193,10 +203,24 @@ class DiscretePMF:
         return (self.offset + int(nz[0]), self.offset + int(nz[-1]))
 
     def total_mass(self) -> float:
-        """Total probability mass (1.0 for a proper PMF); cached."""
+        """Total probability mass of the PMF.
+
+        Returns
+        -------
+        float
+            Sum of all bins (1.0 for a proper PMF, less for sub-normalised
+            ones).  Cached on first use.
+
+        Notes
+        -----
+        The sum is accumulated strictly left to right (via ``np.cumsum``)
+        rather than with NumPy's pairwise ``sum`` so that the batched engine
+        (:meth:`repro.core.batch.PMFBatch.total_mass`), whose rows carry zero
+        padding, reproduces the value bit for bit.
+        """
         cached = self.__dict__.get("_total_cache")
         if cached is None:
-            cached = float(self.probs.sum())
+            cached = float(np.cumsum(self.probs)[-1])
             self.__dict__["_total_cache"] = cached
         return cached
 
@@ -247,7 +271,20 @@ class DiscretePMF:
     # Moments
     # ------------------------------------------------------------------
     def mean(self) -> float:
-        """Expected value (cached).  Returns ``nan`` for a zero-mass PMF."""
+        """Expected value of the (renormalised) PMF.
+
+        Returns
+        -------
+        float
+            ``sum(t * p(t)) / total_mass``, or ``nan`` for a zero-mass PMF.
+            Cached on first use.
+
+        Notes
+        -----
+        Accumulated sequentially (``np.cumsum``) for bit-identity with
+        :meth:`repro.core.batch.PMFBatch.means`, which computes the same
+        value for a whole batch of padded rows at once.
+        """
         cached = self.__dict__.get("_mean_cache")
         if cached is not None:
             return cached
@@ -255,7 +292,7 @@ class DiscretePMF:
         if total <= MASS_TOLERANCE:
             value = float("nan")
         else:
-            value = float(np.dot(self.times, self.probs) / total)
+            value = float(np.cumsum(self.times * self.probs)[-1] / total)
         self.__dict__["_mean_cache"] = value
         return value
 
@@ -312,6 +349,18 @@ class DiscretePMF:
 
         Used to anchor a PET entry at the task start time on an idle
         machine (Section IV: "impulses in PET(i, j) are shifted by alpha").
+
+        Parameters
+        ----------
+        delta:
+            Signed translation in integer time units.
+
+        Returns
+        -------
+        DiscretePMF
+            Same probability vector at offset ``offset + delta`` (exact —
+            no probability is moved between bins).  The batched counterpart
+            is :func:`repro.core.batch.batched_shift`.
         """
         return DiscretePMF._raw(self.probs, self.offset + int(delta))
 
@@ -331,6 +380,39 @@ class DiscretePMF:
             return self
         return DiscretePMF._raw(self.probs[lo : hi + 1], self.offset + lo)
 
+    def convolve_with(self, kernel: "DiscretePMF") -> "DiscretePMF":
+        """Convolve with ``kernel`` by shift-and-add over its impulses.
+
+        Parameters
+        ----------
+        kernel:
+            Second operand; its non-zero impulses drive the accumulation, so
+            the cost is ``O(nnz(kernel) * len(self))``.
+
+        Returns
+        -------
+        DiscretePMF
+            The distribution of the sum of the two independent variables, at
+            offset ``self.offset + kernel.offset``.
+
+        Notes
+        -----
+        This is the exact scalar counterpart of
+        :func:`repro.core.batch.batched_convolve`: both accumulate the
+        kernel's impulses in ascending time order, one vector
+        multiply-accumulate per impulse, so a batch row and a lone PMF
+        produce bit-identical results.  Prefer :meth:`convolve` unless the
+        caller needs that guarantee — it picks the cheaper operand order
+        automatically.
+        """
+        if self.is_zero() or kernel.is_zero():
+            return DiscretePMF._raw(np.array([0.0]), self.offset + kernel.offset)
+        width = self.probs.size
+        probs = np.zeros(width + kernel.probs.size - 1, dtype=np.float64)
+        for index in np.flatnonzero(kernel.probs).tolist():
+            probs[index : index + width] += kernel.probs[index] * self.probs
+        return DiscretePMF._raw(probs, self.offset + kernel.offset)
+
     def convolve(self, other: "DiscretePMF") -> "DiscretePMF":
         """Distribution of the sum of two independent discrete variables.
 
@@ -338,26 +420,33 @@ class DiscretePMF:
         of task *i* is the completion time of task *i-1* plus the execution
         time of task *i*.
 
+        Parameters
+        ----------
+        other:
+            Second operand (order does not matter mathematically).
+
+        Returns
+        -------
+        DiscretePMF
+            PMF of the sum, at offset ``self.offset + other.offset``.
+
+        Notes
+        -----
         Completion-time chains convolve a dense execution PMF with a sparse
         (impulse-aggregated) availability PMF, so when one operand has few
-        non-zero impulses a shift-and-add strategy is used instead of the
-        dense ``numpy.convolve`` — same result, far fewer operations.
+        non-zero impulses the shift-and-add of :meth:`convolve_with` is used
+        instead of the dense ``numpy.convolve`` — same result, far fewer
+        operations.
         """
         if self.is_zero() or other.is_zero():
             return DiscretePMF._raw(np.array([0.0]), self.offset + other.offset)
         sparse, dense = (self, other)
         if np.count_nonzero(other.probs) < np.count_nonzero(self.probs):
             sparse, dense = other, self
-        nnz = np.nonzero(sparse.probs)[0]
-        out_len = self.probs.size + other.probs.size - 1
-        if nnz.size * dense.probs.size < self.probs.size * other.probs.size:
-            probs = np.zeros(out_len, dtype=np.float64)
-            dense_probs = dense.probs
-            width = dense_probs.size
-            for idx in nnz:
-                probs[idx : idx + width] += sparse.probs[idx] * dense_probs
-        else:
-            probs = np.convolve(self.probs, other.probs)
+        nnz = np.count_nonzero(sparse.probs)
+        if nnz * dense.probs.size < self.probs.size * other.probs.size:
+            return dense.convolve_with(sparse)
+        probs = np.convolve(self.probs, other.probs)
         return DiscretePMF._raw(probs, self.offset + other.offset)
 
     def truncate_before(self, time: int) -> "DiscretePMF":
@@ -366,6 +455,18 @@ class DiscretePMF:
         This is the building block of the pending-drop convolution (Eq. 3):
         impulses of PCT(i-1, j) at or after the deadline of task *i* are
         excluded because task *i* would have been dropped by then.
+
+        Parameters
+        ----------
+        time:
+            Exclusive upper cut; mass at ``t >= time`` is discarded.
+
+        Returns
+        -------
+        DiscretePMF
+            Sub-normalised PMF holding only the mass strictly before
+            ``time``; together with :meth:`truncate_from` it partitions the
+            original mass exactly.
         """
         cut = int(time) - self.offset
         if cut <= 0:
@@ -375,7 +476,18 @@ class DiscretePMF:
         return DiscretePMF._raw(self.probs[:cut], self.offset)
 
     def truncate_from(self, time: int) -> "DiscretePMF":
-        """Keep only mass at or after ``time`` (without renormalising)."""
+        """Keep only mass at or after ``time`` (without renormalising).
+
+        Parameters
+        ----------
+        time:
+            Inclusive lower cut; mass at ``t < time`` is discarded.
+
+        Returns
+        -------
+        DiscretePMF
+            Sub-normalised complement of :meth:`truncate_before`.
+        """
         cut = int(time) - self.offset
         if cut >= self.probs.size:
             return DiscretePMF._raw(np.array([0.0]), self.offset)
@@ -389,6 +501,18 @@ class DiscretePMF:
         This is the evict-drop aggregation of Eq. 5: if the task is still in
         the system at its deadline it is dropped, so the machine becomes free
         exactly at the deadline.
+
+        Parameters
+        ----------
+        time:
+            Aggregation point (the task deadline in Eq. 5).
+
+        Returns
+        -------
+        DiscretePMF
+            PMF whose support ends at ``time``; total mass is preserved
+            exactly (the tail is summed sequentially, so this commutes
+            bit-for-bit with the batched reductions).
         """
         t = int(time)
         cut = t - self.offset
@@ -400,7 +524,7 @@ class DiscretePMF:
             return DiscretePMF._raw(np.array([total]), t)
         if cut >= self.probs.size:
             return self
-        tail_mass = float(self.probs[cut:].sum())
+        tail_mass = float(np.cumsum(self.probs[cut:])[-1])
         if tail_mass <= MASS_TOLERANCE:
             return DiscretePMF._raw(self.probs[: cut], self.offset)
         probs = np.zeros(cut + 1, dtype=np.float64)

@@ -14,19 +14,30 @@ All six heuristics evaluated in the paper share the same skeleton:
 
 Subclasses only implement small hooks; the iteration, virtual-queue
 bookkeeping and decision assembly live here.  Phase-1 scores are held in a
-vectorised :class:`ScoreTable` (robustness and expected-completion matrices
-over task x machine) so that a mapping event costs a handful of NumPy
-operations per machine column rather than a Python loop per candidate pair —
-the "vectorise the inner loop" idiom of the HPC-Python guides.
+:class:`ScoreTable` (robustness and expected-completion matrices over
+task x machine) backed by the batched PMF engine of
+:mod:`repro.core.batch`: machine availabilities are stacked into one padded
+``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch` and every
+candidate pair is scored in a single
+:func:`~repro.core.batch.batched_success_probability` call — bit-identical
+to the scalar :func:`~repro.heuristics.scoring.fast_success_probability`
+per-pair path, but one NumPy kernel per mapping event instead of a Python
+double loop.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
+from ..core.batch import (
+    PMFBatch,
+    batched_expected_completion,
+    batched_success_probability,
+)
 from ..core.completion import DroppingPolicy, completion_pmf
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
@@ -152,14 +163,21 @@ class VirtualSystemState:
 
 
 class ScoreTable:
-    """Vectorised phase-1 scores for every (batch task, machine) pair.
+    """Batched phase-1 scores for every (batch task, machine) pair.
 
     ``robustness[i, j]`` is the probability that task ``i`` meets its
     deadline if mapped to machine ``j``'s current virtual queue (Eq. 1 on the
     availability x execution convolution, computed without materialising the
     convolution); ``completion[i, j]`` is the expected completion time.
-    Columns are refreshed lazily: after phase 2 commits an assignment only
-    the affected machine's column is recomputed.
+
+    Both matrices are filled by one call into the batched PMF engine
+    (:mod:`repro.core.batch`): the virtual availabilities become a padded
+    ``(n_machines, support)`` :class:`PMFBatch` and
+    :func:`batched_success_probability` scores the whole grid against the
+    PET matrix's cached :class:`~repro.core.batch.CDFTable`.  Columns are
+    refreshed lazily: after phase 2 commits an assignment only the affected
+    machine's column is recomputed (a one-row batch through the same
+    kernel, so the values are bit-identical either way).
     """
 
     def __init__(
@@ -170,6 +188,7 @@ class ScoreTable:
     ) -> None:
         self._context = context
         self._pet = context.pet
+        self._cdf_table = context.pet.cdf_table()
         self.tasks = list(tasks)
         self.n = len(self.tasks)
         self.m = len(context.machines)
@@ -181,45 +200,42 @@ class ScoreTable:
         self.robustness = np.full((self.n, self.m), -1.0, dtype=np.float64)
         self.completion = np.full((self.n, self.m), np.inf, dtype=np.float64)
         self.machine_open = np.zeros(self.m, dtype=bool)
-        for vm in virtual.machines:
-            self.refresh_machine(vm.index, virtual)
+        self.refresh_machines((vm.index for vm in virtual.machines), virtual)
 
     # ------------------------------------------------------------------
+    def refresh_machines(
+        self, machine_indices: Iterable[int], virtual: VirtualSystemState
+    ) -> None:
+        """Recompute the score columns of several machines in one batched call."""
+        open_indices: list[int] = []
+        for machine_index in machine_indices:
+            if virtual.machines[machine_index].has_free_slot:
+                self.machine_open[machine_index] = True
+                open_indices.append(machine_index)
+            else:
+                self.machine_open[machine_index] = False
+                self.robustness[:, machine_index] = -1.0
+                self.completion[:, machine_index] = np.inf
+        if not open_indices or self.n == 0:
+            return
+        availabilities = [virtual.machines[j].availability for j in open_indices]
+        batch = PMFBatch.from_pmfs(availabilities)
+        columns = np.array(open_indices, dtype=np.int64)
+        self.robustness[:, columns] = batched_success_probability(
+            batch, self._cdf_table, self.types, self.deadlines, machine_indices=columns
+        )
+        expected_start = np.array([a.mean() for a in availabilities], dtype=np.float64)
+        completion = batched_expected_completion(
+            expected_start, self.mean_execution[:, columns]
+        )
+        # A zero-mass availability has no expected start time; such machines
+        # can never complete anything (robustness is already exactly 0).
+        completion[:, np.isnan(expected_start)] = np.inf
+        self.completion[:, columns] = completion
+
     def refresh_machine(self, machine_index: int, virtual: VirtualSystemState) -> None:
         """Recompute one machine's scores against all tasks."""
-        vm = virtual.machines[machine_index]
-        if not vm.has_free_slot:
-            self.machine_open[machine_index] = False
-            self.robustness[:, machine_index] = -1.0
-            self.completion[:, machine_index] = np.inf
-            return
-        self.machine_open[machine_index] = True
-        if self.n == 0:
-            return
-        availability = vm.availability
-        nz = np.nonzero(availability.probs)[0]
-        if nz.size == 0:
-            self.robustness[:, machine_index] = 0.0
-            self.completion[:, machine_index] = np.inf
-            return
-        start_times = availability.offset + nz
-        start_probs = availability.probs[nz]
-        expected_start = availability.mean()
-        self.completion[:, machine_index] = (
-            expected_start + self.mean_execution[:, machine_index]
-        )
-        col = np.zeros(self.n, dtype=np.float64)
-        for task_type in np.unique(self.types):
-            selector = self.types == task_type
-            exec_pmf = self._pet.get(int(task_type), machine_index)
-            cdf = exec_pmf.cumulative()
-            deadlines = self.deadlines[selector]
-            budgets = deadlines[:, None] - start_times[None, :] - exec_pmf.offset
-            idx = np.minimum(budgets, cdf.size - 1)
-            usable = (start_times[None, :] < deadlines[:, None]) & (idx >= 0)
-            success = np.where(usable, cdf[np.maximum(idx, 0)], 0.0)
-            col[selector] = np.minimum(1.0, success @ start_probs)
-        self.robustness[:, machine_index] = col
+        self.refresh_machines((machine_index,), virtual)
 
     def deactivate(self, task_ids) -> None:
         for task_id in task_ids:
@@ -233,7 +249,12 @@ class ScoreTable:
 
     # ------------------------------------------------------------------
     def best_pairs(self, *, robustness_based: bool) -> list[CandidatePair]:
-        """Phase 1: the best machine for every active task."""
+        """Phase 1: the best machine for every active task.
+
+        One argmax/argmin over the batched score matrices picks every active
+        task's machine at once; only the surviving (open-machine, finite
+        completion) pairs are materialised as :class:`CandidatePair`.
+        """
         if not self.any_active or not self.machine_open.any():
             return []
         active_idx = np.nonzero(self.active)[0]
@@ -252,22 +273,22 @@ class ScoreTable:
             tie = primary == best_primary[:, None]
             tiebreak = np.where(tie, mean_exec, np.inf)
             best_machine = tiebreak.argmin(axis=1)
-        pairs: list[CandidatePair] = []
-        for row, machine_index in zip(active_idx.tolist(), best_machine.tolist()):
-            if not self.machine_open[machine_index]:
-                continue
-            if not np.isfinite(self.completion[row, machine_index]):
-                continue
-            pairs.append(
-                CandidatePair(
-                    task=self.tasks[row],
-                    machine_index=int(machine_index),
-                    expected_completion=float(self.completion[row, machine_index]),
-                    robustness=float(self.robustness[row, machine_index]),
-                    mean_execution=float(self.mean_execution[row, machine_index]),
-                )
+        chosen = np.arange(active_idx.size)
+        valid = self.machine_open[best_machine] & np.isfinite(
+            completion[chosen, best_machine]
+        )
+        return [
+            CandidatePair(
+                task=self.tasks[row],
+                machine_index=int(machine_index),
+                expected_completion=float(self.completion[row, machine_index]),
+                robustness=float(self.robustness[row, machine_index]),
+                mean_execution=float(self.mean_execution[row, machine_index]),
             )
-        return pairs
+            for row, machine_index in zip(
+                active_idx[valid].tolist(), best_machine[valid].tolist()
+            )
+        ]
 
 
 class MappingHeuristic(abc.ABC):

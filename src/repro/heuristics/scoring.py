@@ -2,8 +2,7 @@
 
 Phase 1 of every batch heuristic evaluates each unmapped task against every
 machine.  Doing a full completion-time convolution for each candidate pair
-would dominate the simulation cost, so this module provides vectorised
-shortcuts:
+would dominate the simulation cost, so this module provides shortcuts:
 
 * :func:`fast_success_probability` computes P(start + execution <= deadline)
   directly from the machine-availability impulses and the execution-time
@@ -12,7 +11,16 @@ shortcuts:
 * :func:`expected_completion` uses linearity of expectation instead of
   convolving.
 
-The expensive convolution is only performed once a pair is actually committed
+Both are the *exact scalar counterparts* of the batched kernels in
+:mod:`repro.core.batch`: they perform the same elementwise operations over
+the same columns in the same order as a one-task, one-machine invocation of
+:func:`~repro.core.batch.batched_success_probability` /
+:func:`~repro.core.batch.batched_expected_completion` (sequential
+``np.cumsum`` reduction included), so scoring one pair at a time or a whole
+``(n_tasks, n_machines)`` grid at once produces bit-identical values — the
+equivalence is pinned at ``atol=0`` by ``tests/core/test_batch.py``.
+``ScoreTable`` in :mod:`repro.heuristics.base` uses the batched form; the
+expensive convolution is only performed once a pair is actually committed
 to a virtual queue.
 """
 
@@ -38,35 +46,91 @@ def fast_success_probability(
     restricted to start times strictly before the deadline (a task starting
     at or after its deadline can never succeed because execution takes at
     least one time unit).
+
+    Parameters
+    ----------
+    exec_pmf:
+        Execution-time PMF of the task's type on the candidate machine (a
+        PET entry).
+    availability:
+        Availability PMF of the machine's (virtual) queue; may be
+        sub-normalised or zero-mass.
+    deadline:
+        Absolute deadline of the task.
+
+    Returns
+    -------
+    float
+        Success probability in ``[0, 1]``; ``0.0`` for a zero-mass
+        availability.
+
+    Notes
+    -----
+    Exact scalar counterpart of
+    :func:`repro.core.batch.batched_success_probability`: same elementwise
+    values over the availability's non-zero columns in ascending time order,
+    same strict left-to-right reduction — bit-identical to scoring the same
+    pair inside any larger batch, without the batch's per-call setup cost.
     """
     deadline = int(deadline)
-    nz = np.nonzero(availability.probs)[0]
-    if nz.size == 0:
+    nonzero = np.flatnonzero(availability.probs)
+    if nonzero.size == 0:
         return 0.0
-    start_times = availability.offset + nz
-    start_probs = availability.probs[nz]
-    usable = start_times < deadline
-    if not np.any(usable):
-        return 0.0
-    start_times = start_times[usable]
-    start_probs = start_probs[usable]
-
-    exec_cdf = exec_pmf.cumulative()
+    start_times = availability.offset + nonzero
+    start_probs = availability.probs[nonzero]
+    cdf = exec_pmf.cumulative()
     budgets = deadline - start_times - exec_pmf.offset
-    # budgets < 0  -> no chance; budgets >= len -> certain (full exec mass)
-    idx = np.clip(budgets, -1, exec_cdf.size - 1)
-    completion_prob = np.where(idx >= 0, exec_cdf[np.maximum(idx, 0)], 0.0)
-    return float(min(1.0, np.dot(start_probs, completion_prob)))
+    clipped = np.minimum(budgets, cdf.size - 1)
+    usable = (start_times < deadline) & (clipped >= 0)
+    contributions = np.where(usable, cdf[np.maximum(clipped, 0)], 0.0) * start_probs
+    return float(min(1.0, np.cumsum(contributions)[-1]))
 
 
 def expected_completion(exec_pmf: DiscretePMF, availability: DiscretePMF) -> float:
-    """Expected completion time: E[availability] + E[execution]."""
+    """Expected completion time: E[availability] + E[execution].
+
+    Parameters
+    ----------
+    exec_pmf:
+        Execution-time PMF of the candidate (task type, machine) pair.
+    availability:
+        Availability PMF of the machine's (virtual) queue.
+
+    Returns
+    -------
+    float
+        ``availability.mean() + exec_pmf.mean()`` — linearity of
+        expectation, no convolution needed; ``nan`` if either PMF carries no
+        mass.
+
+    Notes
+    -----
+    The batched counterpart is
+    :func:`repro.core.batch.batched_expected_completion`, which adds the
+    same two cached means per pair in the same order (hence bit-identical —
+    IEEE addition of identical operands is deterministic).
+    """
     return float(availability.mean() + exec_pmf.mean())
 
 
 def urgency(deadline: int, expected_completion_time: float) -> float:
     """MMU urgency U = 1 / (deadline - E[completion]) (Section VI-C3).
 
+    Parameters
+    ----------
+    deadline:
+        Absolute deadline of the task.
+    expected_completion_time:
+        Expected completion time from :func:`expected_completion`.
+
+    Returns
+    -------
+    float
+        The urgency value; ``inf`` when the expected completion already
+        meets or exceeds the deadline.
+
+    Notes
+    -----
     Tasks whose expected completion already exceeds their deadline are the
     "least likely to succeed" tasks the paper criticises MMU for favouring;
     they are treated as maximally urgent (``inf``) so the reproduction keeps

@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..core.batch import CDFTable
 from ..core.pmf import DiscretePMF
 
 __all__ = ["PETMatrix"]
@@ -38,6 +39,7 @@ class PETMatrix:
     machine_names: tuple[str, ...]
     pmfs: tuple[tuple[DiscretePMF, ...], ...]
     _mean_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _cdf_cache: CDFTable | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.task_types = tuple(self.task_types)
@@ -123,6 +125,21 @@ class PETMatrix:
             )
             self._mean_cache = means
         return self._mean_cache
+
+    def cdf_table(self) -> CDFTable:
+        """Padded execution-time CDFs of every entry, for the batched scorer.
+
+        Returns
+        -------
+        CDFTable
+            ``(num_task_types, num_machines, max_cdf_len)`` table built once
+            and cached — :class:`~repro.heuristics.base.ScoreTable` hands it
+            to :func:`repro.core.batch.batched_success_probability` at every
+            mapping event.
+        """
+        if self._cdf_cache is None:
+            self._cdf_cache = CDFTable.from_grid(self.pmfs)
+        return self._cdf_cache
 
     def mean_execution_time(self, task_type: int | str, machine: int | str) -> float:
         t = task_type if isinstance(task_type, int) else self.task_type_index(task_type)

@@ -15,6 +15,15 @@ The engine drives a workload trace through the system model of the paper:
   executing task is evicted the moment its deadline passes.
 
 The engine is deterministic given a seeded ``numpy.random.Generator``.
+
+Each mapping event flows through the batched probability engine: the
+machines' availability chains are propagated with the scalar
+:class:`~repro.core.pmf.DiscretePMF` ops (whose reductions share the batch
+kernels' sequential-accumulation discipline), and the heuristics'
+``ScoreTable`` stacks the resulting availability PMFs into one
+``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch` to score every
+(task, machine) candidate pair in a single kernel call.  See
+``docs/architecture.md`` for the full event-loop lifecycle.
 """
 
 from __future__ import annotations

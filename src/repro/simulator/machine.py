@@ -7,20 +7,28 @@ but it can be dropped by the pruning mechanism or when its deadline passes.
 
 The machine also exposes the probabilistic queue state the mapper needs: the
 chain of completion-time PMFs down its queue (Section IV) and its final
-availability PMF, built from the PET matrix.
+availability PMF, built from the PET matrix.  For callers that want the
+machines' availability PMFs in batched form (the shape the scoring kernels
+of :mod:`repro.core.batch` consume — e.g. analysis tools or custom
+heuristics), :func:`batched_availability` stacks several machines onto one
+aligned :class:`~repro.core.batch.PMFBatch` grid.  Note the in-tree
+two-phase heuristics batch their *virtual* (post-drop, post-commit)
+availabilities instead — see ``ScoreTable.refresh_machines``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
+from ..core.batch import PMFBatch
 from ..core.completion import DroppingPolicy, completion_pmf
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
 from .task import Task, TaskStatus
 
-__all__ = ["Machine", "MachineQueueSnapshot"]
+__all__ = ["Machine", "MachineQueueSnapshot", "batched_availability"]
 
 
 @dataclass(frozen=True)
@@ -243,3 +251,44 @@ class Machine:
             f"Machine(index={self.index}, name={self.name!r}, "
             f"occupied={self.occupied_slots}/{self.queue_capacity})"
         )
+
+
+def batched_availability(
+    machines: Iterable[Machine],
+    pet: PETMatrix,
+    now: int,
+    *,
+    policy: DroppingPolicy = DroppingPolicy.EVICT,
+    max_impulses: int | None = 32,
+    condition_on_now: bool = False,
+) -> PMFBatch:
+    """Availability PMFs of several machines on one aligned batch grid.
+
+    Parameters
+    ----------
+    machines:
+        Machines whose current local queues should be chained; batch row
+        ``i`` corresponds to the ``i``-th machine yielded.
+    pet, now, policy, max_impulses, condition_on_now:
+        Forwarded to :meth:`Machine.availability_pmf` (per-machine snapshot
+        caching applies as usual).
+
+    Returns
+    -------
+    PMFBatch
+        ``(n_machines, support)`` batch ready for the scoring kernels in
+        :mod:`repro.core.batch`; row values are bit-identical to the scalar
+        per-machine availability PMFs.
+    """
+    return PMFBatch.from_pmfs(
+        [
+            machine.availability_pmf(
+                pet,
+                now,
+                policy=policy,
+                max_impulses=max_impulses,
+                condition_on_now=condition_on_now,
+            )
+            for machine in machines
+        ]
+    )

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..core.batch import PMFBatch
 from ..core.completion import DroppingPolicy
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
-from .machine import Machine
+from .machine import Machine, batched_availability
 from .task import Task
 
 __all__ = ["MappingContext", "MappingDecision", "Assignment", "QueueDrop", "TerminalEvent"]
@@ -93,6 +94,31 @@ class MappingContext:
                 condition_on_now=self.condition_executing_on_now,
             )
         return self._availability_cache[machine_index]
+
+    def availability_batch(self) -> PMFBatch:
+        """All machines' availability PMFs on one aligned batch grid.
+
+        Convenience for heuristics or analysis code that scores against the
+        *real* queues; the in-tree two-phase heuristics instead batch their
+        virtual (post-drop, post-commit) availabilities inside
+        ``ScoreTable``.
+
+        Returns
+        -------
+        PMFBatch
+            ``(n_machines, support)`` batch (row ``j`` is machine ``j``),
+            with the same per-machine PMF values
+            :meth:`machine_availability` serves — the input shape the
+            batched scoring kernels of :mod:`repro.core.batch` consume.
+        """
+        return batched_availability(
+            self.machines,
+            self.pet,
+            self.now,
+            policy=self.policy,
+            max_impulses=self.max_impulses,
+            condition_on_now=self.condition_executing_on_now,
+        )
 
     def executing_pmf(self, machine_index: int) -> DiscretePMF:
         """Completion-time PMF of the machine's executing task (if any)."""

@@ -1,0 +1,157 @@
+"""ScoreTable's batched mapping-event scoring vs the scalar reference.
+
+The equivalence gate for the heuristics layer: a mapping event scored
+through the batched engine (`ScoreTable` -> `batched_success_probability`)
+must reproduce the scalar per-pair functions
+(:func:`fast_success_probability` / :func:`expected_completion`) **bit for
+bit** (``atol=0``), both on the initial full-grid pass and after phase-2
+commits trigger single-column refreshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.completion import DroppingPolicy
+from repro.heuristics.base import ScoreTable, VirtualSystemState
+from repro.heuristics.scoring import expected_completion, fast_success_probability
+from repro.simulator.machine import Machine, batched_availability
+from repro.simulator.mapping import MappingContext, batch_in_arrival_order
+from repro.simulator.task import Task
+from repro.workload.spec import TaskSpec
+
+
+def make_task(task_id: int, *, task_type: int = 0, deadline: int = 500, arrival: int = 0) -> Task:
+    return Task(TaskSpec(arrival=arrival, task_id=task_id, task_type=task_type, deadline=deadline))
+
+
+def make_event(pet, *, now: int = 0, queue_plan=(), batch_plan=()) -> MappingContext:
+    """Build a mapping event: machines with queued tasks plus a batch queue.
+
+    ``queue_plan[j]`` lists (task_id, task_type, deadline) tuples enqueued on
+    machine ``j``; ``batch_plan`` lists the unmapped batch tasks.
+    """
+    machines = []
+    for j in range(pet.num_machines):
+        machine = Machine(j, pet.machine_names[j], queue_capacity=4)
+        for task_id, task_type, deadline in (queue_plan[j] if j < len(queue_plan) else ()):
+            machine.enqueue(make_task(task_id, task_type=task_type, deadline=deadline), now=now)
+        machines.append(machine)
+    batch = [make_task(tid, task_type=tt, deadline=d) for tid, tt, d in batch_plan]
+    return MappingContext(
+        now=now,
+        batch=batch_in_arrival_order(batch),
+        machines=tuple(machines),
+        pet=pet,
+        policy=DroppingPolicy.EVICT,
+    )
+
+
+def scalar_reference(pet, virtual, tasks):
+    """The pre-batching double loop, pair by pair through the scalar API."""
+    n, m = len(tasks), len(virtual.machines)
+    robustness = np.full((n, m), -1.0)
+    completion = np.full((n, m), np.inf)
+    for i, task in enumerate(tasks):
+        for vm in virtual.machines:
+            if not vm.has_free_slot:
+                continue
+            exec_pmf = pet.get(task.task_type, vm.index)
+            robustness[i, vm.index] = fast_success_probability(
+                exec_pmf, vm.availability, task.deadline
+            )
+            if not vm.availability.is_zero():
+                completion[i, vm.index] = expected_completion(exec_pmf, vm.availability)
+    return robustness, completion
+
+
+def paper_scale_event(pet, *, n_tasks: int = 40, seed: int = 17) -> MappingContext:
+    rng = np.random.default_rng(seed)
+    queue_plan = [
+        [
+            (1000 + 10 * j + k, int(rng.integers(0, pet.num_task_types)), int(rng.integers(100, 400)))
+            for k in range(int(rng.integers(0, 3)))
+        ]
+        for j in range(pet.num_machines)
+    ]
+    batch_plan = [
+        (i, int(rng.integers(0, pet.num_task_types)), int(rng.integers(30, 500)))
+        for i in range(n_tasks)
+    ]
+    return make_event(pet, queue_plan=queue_plan, batch_plan=batch_plan)
+
+
+class TestScoreTableEquivalence:
+    def test_initial_grid_bit_identical_to_scalar_loop(self, small_gamma_pet):
+        context = paper_scale_event(small_gamma_pet)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        robustness, completion = scalar_reference(
+            small_gamma_pet, virtual, table.tasks
+        )
+        assert np.array_equal(table.robustness, robustness)
+        assert np.array_equal(table.completion, completion)
+
+    def test_refresh_after_commits_stays_bit_identical(self, small_gamma_pet):
+        context = paper_scale_event(small_gamma_pet, seed=23)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        # Commit a few provisional assignments, refreshing one column each
+        # time, exactly as the two-phase loop does.
+        for step in range(3):
+            pairs = table.best_pairs(robustness_based=True)
+            if not pairs:
+                break
+            chosen = pairs[step % len(pairs)]
+            virtual.assign(chosen.task, chosen.machine_index)
+            table.deactivate([chosen.task.task_id])
+            table.refresh_machine(chosen.machine_index, virtual)
+            robustness, completion = scalar_reference(
+                small_gamma_pet, virtual, table.tasks
+            )
+            open_cols = table.machine_open
+            assert np.array_equal(table.robustness[:, open_cols], robustness[:, open_cols])
+            assert np.array_equal(table.completion[:, open_cols], completion[:, open_cols])
+
+    def test_full_machines_closed_columns(self, tiny_pet):
+        context = make_event(
+            tiny_pet,
+            queue_plan=[[(90, 0, 300)] * 4, []],  # machine 0 completely full
+            batch_plan=[(1, 0, 100), (2, 1, 120)],
+        )
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, list(context.batch))
+        assert not table.machine_open[0]
+        assert np.all(table.robustness[:, 0] == -1.0)
+        assert np.all(np.isinf(table.completion[:, 0]))
+        assert table.machine_open[1]
+
+    def test_empty_batch_is_noop(self, tiny_pet):
+        context = make_event(tiny_pet)
+        virtual = VirtualSystemState(context)
+        table = ScoreTable(context, virtual, [])
+        assert table.n == 0
+        assert not table.best_pairs(robustness_based=True)
+
+
+class TestBatchedAvailabilityHelper:
+    def test_rows_match_scalar_availability(self, small_gamma_pet):
+        context = paper_scale_event(small_gamma_pet, seed=31)
+        batch = batched_availability(
+            context.machines, small_gamma_pet, context.now, policy=context.policy
+        )
+        assert batch.n_pmfs == small_gamma_pet.num_machines
+        for j, machine in enumerate(context.machines):
+            scalar = machine.availability_pmf(
+                small_gamma_pet, context.now, policy=context.policy
+            )
+            row = batch.row(j).compact()
+            assert row.allclose(scalar, atol=0)
+
+    def test_context_availability_batch_uses_cache(self, small_gamma_pet):
+        context = paper_scale_event(small_gamma_pet, seed=37)
+        batch = context.availability_batch()
+        for j in range(small_gamma_pet.num_machines):
+            assert batch.row(j).compact().allclose(
+                context.machine_availability(j).compact(), atol=0
+            )

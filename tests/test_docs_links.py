@@ -1,0 +1,27 @@
+"""The documentation link checker passes against the working tree.
+
+Runs the same check the CI docs job runs (``scripts/check_docs_links.py``)
+so a broken README/docs cross-reference fails tier-1 locally too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs_links.py"), str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
+
+
+def test_docs_suite_exists():
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "reproducing.md").is_file()
