@@ -63,6 +63,7 @@ from .simulator import (
     HCSimulator,
     SimulationResult,
     SimulatorConfig,
+    SystemState,
     simulate,
 )
 from .sweep import (
@@ -77,7 +78,7 @@ from .sweep import (
 )
 from .workload import TaskSpec, WorkloadConfig, WorkloadTrace, generate_workload
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -101,6 +102,7 @@ __all__ = [
     # simulator
     "HCSimulator",
     "SimulatorConfig",
+    "SystemState",
     "SimulationResult",
     "simulate",
     # pruning

@@ -8,9 +8,11 @@ single NumPy calls — bit-identical to the scalar API.
 """
 
 from .batch import (
+    KERNEL_VERSION,
     CDFTable,
     PMFBatch,
     batched_convolve,
+    batched_convolve_ragged,
     batched_expected_completion,
     batched_shift,
     batched_success_probability,
@@ -18,6 +20,7 @@ from .batch import (
 )
 from .completion import (
     DroppingPolicy,
+    batched_completion_step,
     completion_pmf,
     pct_evict_drop,
     pct_no_drop,
@@ -35,15 +38,18 @@ from .robustness import (
 __all__ = [
     "DiscretePMF",
     "MASS_TOLERANCE",
+    "KERNEL_VERSION",
     "PMFBatch",
     "CDFTable",
     "sequential_sum",
     "batched_shift",
     "batched_convolve",
+    "batched_convolve_ragged",
     "batched_success_probability",
     "batched_expected_completion",
     "DroppingPolicy",
     "completion_pmf",
+    "batched_completion_step",
     "pct_no_drop",
     "pct_pending_drop",
     "pct_evict_drop",

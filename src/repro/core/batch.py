@@ -85,14 +85,23 @@ import numpy as np
 from .pmf import MASS_TOLERANCE, DiscretePMF
 
 __all__ = [
+    "KERNEL_VERSION",
     "PMFBatch",
     "CDFTable",
     "sequential_sum",
     "batched_shift",
     "batched_convolve",
+    "batched_convolve_ragged",
     "batched_success_probability",
     "batched_expected_completion",
 ]
+
+#: Version tag of the scoring/chain kernel semantics.  Bump this whenever a
+#: change to the kernels (or to the scalar ops they mirror) could alter the
+#: *values* they produce — consumers that persist derived results across
+#: processes (e.g. the ``repro.sweep`` result cache) fold the tag into their
+#: content addresses so stale artefacts are never looked up again.
+KERNEL_VERSION = 3
 
 
 def sequential_sum(values: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -423,6 +432,75 @@ def batched_convolve(batch: PMFBatch, kernel: DiscretePMF) -> PMFBatch:
     for index in nonzero.tolist():
         out[:, index : index + width] += kernel.probs[index] * batch.probs
     return PMFBatch(out, offset)
+
+
+def batched_convolve_ragged(
+    batch: PMFBatch, kernels: Sequence[DiscretePMF]
+) -> PMFBatch:
+    """Convolve every row of a batch with its *own* kernel, in lockstep.
+
+    This is the ragged counterpart of :func:`batched_convolve`: ``n``
+    independent convolutions (different kernels, different offsets, different
+    supports) advance together through one shared shift-and-add loop over
+    the *union* of the kernels' non-zero impulse columns.  It is the kernel
+    behind :func:`repro.core.completion.batched_completion_step`, which
+    propagates several machines' completion-time chains one queue position
+    at a time.
+
+    Parameters
+    ----------
+    batch:
+        ``(n_pmfs, support)`` batch; row ``i`` is the dense operand of
+        convolution ``i``.
+    kernels:
+        One kernel per row.  Offsets and supports may differ arbitrarily;
+        cost scales with the union of their non-zero impulse columns.
+
+    Returns
+    -------
+    PMFBatch
+        Batch at offset ``batch.offset + min(kernel offsets)`` whose row
+        ``i`` equals ``batch.row(i).convolve_with(kernels[i])`` placed on the
+        shared grid.  **Bit-identical** up to zero padding: each row only
+        ever accumulates its own kernel's impulses in ascending time order
+        (columns where a row's kernel carries no mass contribute exact-zero
+        terms, which are bit-level no-ops), so
+        ``out.row(i).compact()`` equals the scalar result's ``compact()``
+        bit for bit.  A zero-mass kernel yields an all-zero row.
+
+    Examples
+    --------
+    >>> batch = PMFBatch.from_pmfs([
+    ...     DiscretePMF.from_impulses({1: 0.25, 2: 0.50, 3: 0.25}),
+    ...     DiscretePMF.point(2),
+    ... ])
+    >>> out = batched_convolve_ragged(
+    ...     batch,
+    ...     [DiscretePMF.from_impulses({10: 0.5, 11: 0.5}), DiscretePMF.point(4)],
+    ... )
+    >>> out.offset
+    5
+    >>> [p.mean() for p in out.to_pmfs()]
+    [12.5, 6.0]
+    """
+    kernels = list(kernels)
+    if len(kernels) != batch.n_pmfs:
+        raise ValueError(
+            f"expected one kernel per row, got {len(kernels)} kernels "
+            f"for {batch.n_pmfs} rows"
+        )
+    k_lo = min(k.offset for k in kernels)
+    k_hi = max(k.max_time for k in kernels)
+    k_width = k_hi - k_lo + 1
+    coeffs = np.zeros((batch.n_pmfs, k_width), dtype=np.float64)
+    for i, kernel in enumerate(kernels):
+        start = kernel.offset - k_lo
+        coeffs[i, start : start + kernel.probs.size] = kernel.probs
+    width = batch.support
+    out = np.zeros((batch.n_pmfs, width + k_width - 1), dtype=np.float64)
+    for index in np.flatnonzero(coeffs.any(axis=0)).tolist():
+        out[:, index : index + width] += coeffs[:, index : index + 1] * batch.probs
+    return PMFBatch(out, batch.offset + k_lo)
 
 
 def batched_success_probability(

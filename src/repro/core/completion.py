@@ -25,6 +25,9 @@ from __future__ import annotations
 import enum
 from typing import Sequence
 
+import numpy as np
+
+from .batch import PMFBatch, batched_convolve_ragged
 from .pmf import DiscretePMF
 
 __all__ = [
@@ -33,6 +36,8 @@ __all__ = [
     "pct_pending_drop",
     "pct_evict_drop",
     "completion_pmf",
+    "chain_step",
+    "batched_completion_step",
     "queue_completion_pmfs",
     "start_pmf_for_idle_machine",
 ]
@@ -126,6 +131,116 @@ def completion_pmf(
     if policy is DroppingPolicy.EVICT:
         return pct_evict_drop(pet, prev_pct, deadline)
     raise ValueError(f"unknown dropping policy: {policy!r}")
+
+
+def chain_step(
+    pet: DiscretePMF,
+    prev: DiscretePMF,
+    deadline: int,
+    policy: DroppingPolicy = DroppingPolicy.EVICT,
+    max_impulses: int | None = None,
+) -> DiscretePMF:
+    """THE availability-chain step: one queued task's completion PMF.
+
+    ``completion_pmf`` under ``policy`` followed by the impulse-aggregation
+    cap.  Every availability-chain walk in the codebase — the incremental
+    :class:`~repro.simulator.state.SystemState`, its pruning-path
+    ``availability_excluding`` variants, and the per-machine
+    ``Machine.queue_snapshot`` reference path — must advance through this
+    single helper so the paths stay bit-identical by construction.  The
+    lockstep counterpart is :func:`batched_completion_step`.
+    """
+    out = completion_pmf(pet, prev, int(deadline), policy)
+    if max_impulses is not None:
+        out = out.aggregate(max_impulses)
+    return out
+
+
+def batched_completion_step(
+    pets: Sequence[DiscretePMF],
+    prevs: Sequence[DiscretePMF],
+    deadlines: Sequence[int],
+    policy: DroppingPolicy = DroppingPolicy.EVICT,
+    *,
+    max_impulses: int | None = None,
+) -> list[DiscretePMF]:
+    """Advance several *independent* completion chains one step, in lockstep.
+
+    Row ``i`` computes ``completion_pmf(pets[i], prevs[i], deadlines[i],
+    policy)`` (optionally followed by ``.aggregate(max_impulses)``) — one
+    queue position of machine ``i``'s chain.  The expensive part, the
+    convolution, runs through the ragged batch kernel
+    :func:`repro.core.batch.batched_convolve_ragged` for every row whose
+    scalar path would take the sparse shift-and-add branch of
+    :meth:`DiscretePMF.convolve` with the (aggregated, hence sparse)
+    predecessor PMF as the kernel; the remaining rows fall back to the
+    scalar functions.  The per-deadline truncations and the policy
+    bookkeeping are cheap slicing and stay scalar.
+
+    Returns
+    -------
+    list of DiscretePMF
+        ``result[i]`` is **bit-identical** (``atol=0``) to the scalar
+        per-row step: the batched branch mirrors the scalar shift-and-add
+        impulse order exactly and zero padding from the shared grid only
+        contributes exact-zero terms.  ``repro.simulator.state.SystemState``
+        relies on this to make its incremental and rebuild-from-scratch
+        paths interchangeable.
+    """
+    pets = list(pets)
+    prevs = list(prevs)
+    deadlines = [int(d) for d in deadlines]
+    if not (len(pets) == len(prevs) == len(deadlines)):
+        raise ValueError("pets, prevs and deadlines must have the same length")
+    n = len(pets)
+    results: list[DiscretePMF | None] = [None] * n
+
+    if policy is DroppingPolicy.NONE:
+        started = prevs
+        dropped: list[DiscretePMF | None] = [None] * n
+    else:
+        started = [prev.truncate_before(d) for prev, d in zip(prevs, deadlines)]
+        dropped = [prev.truncate_from(d) for prev, d in zip(prevs, deadlines)]
+
+    # Partition rows: batch the ones whose scalar convolve would do a
+    # shift-and-add with the predecessor as the kernel; everything else
+    # (zero-mass operands, dense-dense ``np.convolve`` rows, sparse-PET
+    # rows) goes through the scalar step wholesale so the branch choice —
+    # and therefore the bit pattern — matches the scalar path exactly.
+    batch_rows: list[int] = []
+    for i in range(n):
+        pet, start = pets[i], started[i]
+        if pet.is_zero() or start.is_zero():
+            continue
+        nnz_start = int(np.count_nonzero(start.probs))
+        nnz_pet = int(np.count_nonzero(pet.probs))
+        if nnz_start >= nnz_pet:
+            continue  # scalar path would treat the PET entry as the kernel
+        if nnz_start * pet.probs.size >= pet.probs.size * start.probs.size:
+            continue  # scalar path would use the dense ``np.convolve``
+        batch_rows.append(i)
+
+    if batch_rows:
+        dense = PMFBatch.from_pmfs([pets[i] for i in batch_rows])
+        convolved = batched_convolve_ragged(dense, [started[i] for i in batch_rows])
+        for row, i in enumerate(batch_rows):
+            ran = DiscretePMF._raw(convolved.probs[row].copy(), convolved.offset)
+            if policy is DroppingPolicy.EVICT:
+                ran = ran.collapse_tail_to(deadlines[i])
+            drop = dropped[i]
+            if drop is not None and not drop.is_zero():
+                ran = ran.add(drop)
+            results[i] = ran.compact()
+
+    out: list[DiscretePMF] = []
+    for i in range(n):
+        result = results[i]
+        if result is None:
+            result = completion_pmf(pets[i], prevs[i], deadlines[i], policy)
+        if max_impulses is not None:
+            result = result.aggregate(max_impulses)
+        out.append(result)
+    return out
 
 
 def queue_completion_pmfs(

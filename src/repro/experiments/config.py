@@ -16,7 +16,7 @@ collected here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 from ..workload.generator import WorkloadConfig

@@ -13,16 +13,23 @@ All six heuristics evaluated in the paper share the same skeleton:
   defer batch tasks whose best robustness is too low.
 
 Subclasses only implement small hooks; the iteration, virtual-queue
-bookkeeping and decision assembly live here.  Phase-1 scores are held in a
-:class:`ScoreTable` (robustness and expected-completion matrices over
-task x machine) backed by the batched PMF engine of
-:mod:`repro.core.batch`: machine availabilities are stacked into one padded
-``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch` and every
-candidate pair is scored in a single
+bookkeeping and decision assembly live here.  Availability comes from the
+engine's live :class:`~repro.simulator.state.SystemState`: machine chains
+are maintained incrementally across mapping events, and
+:class:`VirtualSystemState` is a cheap copy-on-write *fork* of that state —
+each virtual machine starts as a reference to the live (immutable)
+availability PMF and only diverges as phase 2 commits provisional
+assignments.  Phase-1 scores are held in a :class:`ScoreTable` (robustness
+and expected-completion matrices over task x machine) backed by the batched
+PMF engine of :mod:`repro.core.batch`: the virtual availabilities form a
+padded ``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch` and
+every candidate pair is scored in a single
 :func:`~repro.core.batch.batched_success_probability` call — bit-identical
 to the scalar :func:`~repro.heuristics.scoring.fast_success_probability`
-per-pair path, but one NumPy kernel per mapping event instead of a Python
-double loop.
+per-pair path.  After each phase-2 commit only the *dirty column* (the
+committed machine) is marked for rescoring, and the one-column refresh runs
+lazily at the next phase-1 evaluation — the rest of the (task, machine)
+grid is never touched.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from ..core.batch import (
     batched_expected_completion,
     batched_success_probability,
 )
-from ..core.completion import DroppingPolicy, completion_pmf
+from ..core.completion import chain_step
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
 from ..simulator.mapping import MappingContext, MappingDecision
@@ -82,12 +89,17 @@ class VirtualMachine:
 
 
 class VirtualSystemState:
-    """Virtual machine queues built at the start of a mapping event.
+    """Copy-on-write fork of the live system state for one mapping event.
 
-    The virtual state starts from the real queues (optionally with the
-    pruner's drops already removed) and is updated as phase 2 commits
-    assignments, so later phase-1 evaluations see the provisional mappings —
-    the "temporary (virtual) queue of machine-task mappings" of Section III.
+    The virtual state *forks* the engine's incrementally-maintained
+    :class:`~repro.simulator.state.SystemState`: each virtual machine starts
+    with a reference to the live availability PMF (PMFs are immutable, so no
+    copying happens) and only diverges when phase 2 commits an assignment —
+    :meth:`assign` replaces that machine's reference with an extended chain,
+    leaving the live state untouched.  Machines carrying pruner drops start
+    from :meth:`~repro.simulator.mapping.MappingContext.availability_excluding`,
+    which reuses the live chain prefix ahead of the first drop.  This is the
+    "temporary (virtual) queue of machine-task mappings" of Section III.
     """
 
     def __init__(
@@ -113,30 +125,8 @@ class VirtualSystemState:
             elif len(kept) == len(queued):
                 availability = context.machine_availability(machine.index)
             else:
-                availability = self._availability_excluding(machine, kept)
+                availability = context.availability_excluding(machine.index, dropped)
             self.machines.append(VirtualMachine(machine.index, free, availability))
-
-    # ------------------------------------------------------------------
-    def _availability_excluding(self, machine, kept_tasks) -> DiscretePMF:
-        """Recompute a machine's availability chain for a subset of its queue."""
-        now = self._context.now
-        prev = DiscretePMF.point(now)
-        tasks = list(kept_tasks)
-        if machine.executing is not None and tasks and tasks[0] is machine.executing:
-            prev = machine.executing_completion_pmf(
-                self._pet,
-                now,
-                condition_on_now=self._context.condition_executing_on_now,
-            )
-            if self._policy is DroppingPolicy.EVICT:
-                prev = prev.collapse_tail_to(max(machine.executing.deadline, now + 1))
-            tasks = tasks[1:]
-        for task in tasks:
-            pet_entry = self._pet.get(task.task_type, machine.index)
-            prev = completion_pmf(pet_entry, prev, task.deadline, self._policy)
-            if self._max_impulses is not None:
-                prev = prev.aggregate(self._max_impulses)
-        return prev
 
     # ------------------------------------------------------------------
     @property
@@ -155,10 +145,9 @@ class VirtualSystemState:
         if not vm.has_free_slot:
             raise RuntimeError(f"virtual machine {machine_index} has no free slot")
         pet_entry = self._pet.get(task.task_type, machine_index)
-        availability = completion_pmf(pet_entry, vm.availability, task.deadline, self._policy)
-        if self._max_impulses is not None:
-            availability = availability.aggregate(self._max_impulses)
-        vm.availability = availability
+        vm.availability = chain_step(
+            pet_entry, vm.availability, task.deadline, self._policy, self._max_impulses
+        )
         vm.free_slots -= 1
 
 
@@ -174,10 +163,13 @@ class ScoreTable:
     (:mod:`repro.core.batch`): the virtual availabilities become a padded
     ``(n_machines, support)`` :class:`PMFBatch` and
     :func:`batched_success_probability` scores the whole grid against the
-    PET matrix's cached :class:`~repro.core.batch.CDFTable`.  Columns are
-    refreshed lazily: after phase 2 commits an assignment only the affected
-    machine's column is recomputed (a one-row batch through the same
-    kernel, so the values are bit-identical either way).
+    PET matrix's cached :class:`~repro.core.batch.CDFTable`.  Refreshes are
+    *dirty-column driven*: after phase 2 commits an assignment the affected
+    machine is merely marked dirty (:meth:`mark_dirty`) and the one-column
+    rescore runs lazily at the next :meth:`best_pairs` call — several dirty
+    columns flush through one batched kernel call, and a column dirtied
+    after the final commit of an event is never rescored at all.  The
+    values are bit-identical however columns are grouped.
     """
 
     def __init__(
@@ -189,6 +181,8 @@ class ScoreTable:
         self._context = context
         self._pet = context.pet
         self._cdf_table = context.pet.cdf_table()
+        self._virtual = virtual
+        self._dirty: set[int] = set()
         self.tasks = list(tasks)
         self.n = len(self.tasks)
         self.m = len(context.machines)
@@ -203,12 +197,30 @@ class ScoreTable:
         self.refresh_machines((vm.index for vm in virtual.machines), virtual)
 
     # ------------------------------------------------------------------
+    def mark_dirty(self, machine_index: int) -> None:
+        """Mark one machine's column stale after a phase-2 commit.
+
+        The rescore is deferred until the next :meth:`best_pairs` call; a
+        column that is never read again (e.g. dirtied by the last commit of
+        a mapping event) is never recomputed.
+        """
+        self._dirty.add(int(machine_index))
+
+    def _flush_dirty(self) -> None:
+        """Rescore all dirty columns in one batched call."""
+        if not self._dirty:
+            return
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        self.refresh_machines(dirty, self._virtual)
+
     def refresh_machines(
         self, machine_indices: Iterable[int], virtual: VirtualSystemState
     ) -> None:
         """Recompute the score columns of several machines in one batched call."""
         open_indices: list[int] = []
         for machine_index in machine_indices:
+            self._dirty.discard(machine_index)
             if virtual.machines[machine_index].has_free_slot:
                 self.machine_open[machine_index] = True
                 open_indices.append(machine_index)
@@ -253,8 +265,11 @@ class ScoreTable:
 
         One argmax/argmin over the batched score matrices picks every active
         task's machine at once; only the surviving (open-machine, finite
-        completion) pairs are materialised as :class:`CandidatePair`.
+        completion) pairs are materialised as :class:`CandidatePair`.  Any
+        columns dirtied by phase-2 commits since the previous call are
+        rescored first (one batched kernel call for all of them).
         """
+        self._flush_dirty()
         if not self.any_active or not self.machine_open.any():
             return []
         active_idx = np.nonzero(self.active)[0]
@@ -378,5 +393,5 @@ class TwoPhaseBatchHeuristic(MappingHeuristic):
             decision.assign(chosen.task, chosen.machine_index)
             virtual.assign(chosen.task, chosen.machine_index)
             table.deactivate([chosen.task.task_id])
-            table.refresh_machine(chosen.machine_index, virtual)
+            table.mark_dirty(chosen.machine_index)
         return decision

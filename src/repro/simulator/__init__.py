@@ -18,6 +18,7 @@ from .mapping import (
     TerminalEvent,
 )
 from .metrics import SimulationCounters, SimulationResult
+from .state import SystemState, SystemStateError
 from .task import DropReason, Task, TaskStatus
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "TerminalEvent",
     "SimulationCounters",
     "SimulationResult",
+    "SystemState",
+    "SystemStateError",
     "Task",
     "TaskStatus",
     "DropReason",

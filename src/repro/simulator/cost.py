@@ -13,9 +13,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from ..pet.builders import TRANSCODING_MACHINE_NAMES
-from ..pet.spec_data import SPEC_MACHINE_NAMES
-
 __all__ = [
     "SPEC_MACHINE_PRICES",
     "TRANSCODING_MACHINE_PRICES",

@@ -16,14 +16,14 @@ The engine drives a workload trace through the system model of the paper:
 
 The engine is deterministic given a seeded ``numpy.random.Generator``.
 
-Each mapping event flows through the batched probability engine: the
-machines' availability chains are propagated with the scalar
-:class:`~repro.core.pmf.DiscretePMF` ops (whose reductions share the batch
-kernels' sequential-accumulation discipline), and the heuristics'
-``ScoreTable`` stacks the resulting availability PMFs into one
-``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch` to score every
-(task, machine) candidate pair in a single kernel call.  See
-``docs/architecture.md`` for the full event-loop lifecycle.
+The simulator owns a live :class:`~repro.simulator.state.SystemState`: the
+machines' availability chains persist across mapping events and every queue
+mutation below is paired with a notification that invalidates only the
+affected machine's chain suffix.  Mapping events read availability as views
+over that state (``MappingContext.machine_availability`` /
+``availability_batch``) and the heuristics' ``ScoreTable`` scores every
+(task, machine) candidate pair against it in a single batched kernel call.
+See ``docs/architecture.md`` for the full event-loop lifecycle.
 """
 
 from __future__ import annotations
@@ -48,6 +48,7 @@ from .mapping import (
     batch_in_arrival_order,
 )
 from .metrics import SimulationCounters, SimulationResult
+from .state import SystemState
 from .task import DropReason, Task, TaskStatus
 
 __all__ = ["SimulatorConfig", "MappingHeuristicProtocol", "HCSimulator", "simulate"]
@@ -82,6 +83,12 @@ class SimulatorConfig:
     #: every mapping event.  The paper anchors it at the start time instead
     #: (default False), which also allows queue-chain caching.
     condition_executing_on_now: bool = False
+    #: Verify the incremental :class:`~repro.simulator.state.SystemState`
+    #: against a from-scratch lockstep rebuild at every availability query
+    #: (raises on any bit-level divergence).  Test/diagnostic mode; the
+    #: equivalence suite runs seeded full trials with this enabled and
+    #: asserts the results are bit-identical to the default path.
+    state_cross_check: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -125,6 +132,9 @@ class HCSimulator:
         self.rng = make_generator(rng)
 
         self.machines: list[Machine] = []
+        #: Live incremental availability state; (re)built by ``_reset_state``
+        #: and notified next to every queue mutation below.
+        self.state: SystemState | None = None
         self.tasks: dict[int, Task] = {}
         self._batch: dict[int, Task] = {}
         self._events: list[tuple[int, int, int, int]] = []
@@ -181,6 +191,14 @@ class HCSimulator:
             )
             for i, name in enumerate(self.pet.machine_names)
         ]
+        self.state = SystemState(
+            self.machines,
+            self.pet,
+            policy=self.config.dropping_policy,
+            max_impulses=self.config.max_impulses,
+            condition_executing_on_now=self.config.condition_executing_on_now,
+            cross_check=self.config.state_cross_check,
+        )
         self.tasks = {}
         self._batch = {}
         self._events = []
@@ -211,6 +229,7 @@ class HCSimulator:
         if machine.executing is not task:
             return
         machine.finish_executing(task, now)
+        self.state.notify_finish(machine.index, task)
         finish_time = (task.exec_start or now) + (task.actual_execution_time or 0)
         if finish_time <= now:
             task.mark_completed(now)
@@ -241,6 +260,7 @@ class HCSimulator:
         for machine in self.machines:
             for task in [t for t in machine.pending if t.deadline <= now]:
                 machine.remove_pending(task)
+                self.state.notify_remove(machine.index, task)
                 task.mark_dropped(now, DropReason.DEADLINE_MISS_QUEUED)
                 self._counters.deadline_miss_drops += 1
                 self._misses_since_event += 1
@@ -257,6 +277,7 @@ class HCSimulator:
             terminal_events=tuple(self._terminal_since_event),
             max_impulses=self.config.max_impulses,
             condition_executing_on_now=self.config.condition_executing_on_now,
+            state=self.state,
         )
         self._misses_since_event = 0
         self._terminal_since_event = []
@@ -273,8 +294,10 @@ class HCSimulator:
                 continue
             if machine.executing is task:
                 machine.finish_executing(task, now)
+                self.state.notify_finish(machine.index, task)
             else:
                 machine.remove_pending(task)
+                self.state.notify_remove(machine.index, task)
             task.mark_dropped(now, DropReason.PRUNED)
             self._counters.proactive_drops += 1
             self._record_terminal(task)
@@ -288,6 +311,7 @@ class HCSimulator:
                 continue
             del self._batch[task.task_id]
             machine.enqueue(task, now)
+            self.state.notify_enqueue(machine.index, task)
             self._counters.assignments += 1
 
         self._counters.deferrals += len(decision.deferrals)
@@ -299,6 +323,7 @@ class HCSimulator:
                 pet_entry = self.pet.get(head.task_type, machine.index)
                 actual = int(pet_entry.sample(self.rng))
                 task = machine.start_next(now, actual)
+                self.state.notify_start(machine.index)
                 finish_time = now + actual
                 if (
                     self.config.evict_executing_at_deadline
@@ -331,8 +356,10 @@ class HCSimulator:
                 machine = self.machines[task.machine]
                 if machine.executing is task:
                     machine.finish_executing(task, drop_time)
+                    self.state.notify_finish(machine.index, task)
                 elif task in machine.pending:
                     machine.remove_pending(task)
+                    self.state.notify_remove(machine.index, task)
             task.mark_dropped(drop_time, reason)
             self._counters.deadline_miss_drops += 1
         self._now = end_time

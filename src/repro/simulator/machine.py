@@ -7,13 +7,17 @@ but it can be dropped by the pruning mechanism or when its deadline passes.
 
 The machine also exposes the probabilistic queue state the mapper needs: the
 chain of completion-time PMFs down its queue (Section IV) and its final
-availability PMF, built from the PET matrix.  For callers that want the
-machines' availability PMFs in batched form (the shape the scoring kernels
-of :mod:`repro.core.batch` consume — e.g. analysis tools or custom
-heuristics), :func:`batched_availability` stacks several machines onto one
-aligned :class:`~repro.core.batch.PMFBatch` grid.  Note the in-tree
-two-phase heuristics batch their *virtual* (post-drop, post-commit)
-availabilities instead — see ``ScoreTable.refresh_machines``.
+availability PMF, built from the PET matrix.  This per-machine snapshot path
+is the *reference* implementation: the engine itself serves availability
+from the incrementally maintained
+:class:`~repro.simulator.state.SystemState`, which runs the same chain steps
+but caches them across mapping events (bit-identical by construction).  For
+standalone callers that want several machines' availability PMFs in batched
+form (the shape the scoring kernels of :mod:`repro.core.batch` consume —
+e.g. analysis tools or custom heuristics), :func:`batched_availability`
+stacks them onto one aligned :class:`~repro.core.batch.PMFBatch` grid.  Note
+the in-tree two-phase heuristics batch their *virtual* (post-drop,
+post-commit) availabilities instead — see ``ScoreTable.refresh_machines``.
 """
 
 from __future__ import annotations
@@ -23,10 +27,10 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..core.batch import PMFBatch
-from ..core.completion import DroppingPolicy, completion_pmf
+from ..core.completion import DroppingPolicy, chain_step
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
-from .task import Task, TaskStatus
+from .task import Task
 
 __all__ = ["Machine", "MachineQueueSnapshot", "batched_availability"]
 
@@ -180,6 +184,33 @@ class Machine:
             return DiscretePMF.point(now + 1)
         return remaining.normalise()
 
+    def executing_anchor_pmf(
+        self,
+        pet: PETMatrix,
+        now: int,
+        *,
+        policy: DroppingPolicy = DroppingPolicy.EVICT,
+        condition_on_now: bool = False,
+    ) -> DiscretePMF:
+        """THE chain base for an executing head task.
+
+        The executing task's completion PMF, with its tail collapsed onto
+        ``max(deadline, now + 1)`` under an evict-capable policy (the task
+        is guaranteed to leave the machine by then).  Every
+        availability-chain walk — :meth:`queue_snapshot`, the incremental
+        :class:`~repro.simulator.state.SystemState`, and the pruning-path
+        ``availability_excluding`` fallback — anchors through this single
+        helper so the paths stay bit-identical by construction (the queued
+        steps behind it go through
+        :func:`~repro.core.completion.chain_step`).
+        """
+        if self.executing is None:
+            raise RuntimeError(f"machine {self.name} has no executing task to anchor")
+        prev = self.executing_completion_pmf(pet, now, condition_on_now=condition_on_now)
+        if policy is DroppingPolicy.EVICT:
+            prev = prev.collapse_tail_to(max(self.executing.deadline, now + 1))
+        return prev
+
     def queue_snapshot(
         self,
         pet: PETMatrix,
@@ -200,17 +231,23 @@ class Machine:
             return MachineQueueSnapshot((), (), DiscretePMF.point(now))
         cache_key: tuple | None = None
         if not condition_on_now:
-            cache_key = (self.queue_version, policy, max_impulses)
+            # The anchor's evict collapse point is constant (the deadline)
+            # until the executing task outlives it; past the deadline it
+            # tracks ``now``, so it must be part of the key.
+            anchor_cut = (
+                max(self.executing.deadline, now + 1)
+                if self.executing is not None and policy is DroppingPolicy.EVICT
+                else None
+            )
+            cache_key = (self.queue_version, policy, max_impulses, anchor_cut)
             if self._snapshot_cache is not None and self._snapshot_cache[0] == cache_key:
                 return self._snapshot_cache[1]
 
         pmfs: list[DiscretePMF] = []
         if self.executing is not None:
-            prev = self.executing_completion_pmf(pet, now, condition_on_now=condition_on_now)
-            if policy is DroppingPolicy.EVICT:
-                # The executing task leaves the machine by its deadline under
-                # an evict-capable policy.
-                prev = prev.collapse_tail_to(max(self.executing.deadline, now + 1))
+            prev = self.executing_anchor_pmf(
+                pet, now, policy=policy, condition_on_now=condition_on_now
+            )
             pmfs.append(prev)
             start_index = 1
         else:
@@ -218,9 +255,7 @@ class Machine:
             start_index = 0
         for task in tasks[start_index:]:
             pet_entry = pet.get(task.task_type, self.index)
-            prev = completion_pmf(pet_entry, prev, task.deadline, policy)
-            if max_impulses is not None:
-                prev = prev.aggregate(max_impulses)
+            prev = chain_step(pet_entry, prev, task.deadline, policy, max_impulses)
             pmfs.append(prev)
         snapshot = MachineQueueSnapshot(tuple(tasks), tuple(pmfs), prev)
         if cache_key is not None:

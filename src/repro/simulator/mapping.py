@@ -12,13 +12,14 @@ unit-testable without running a full simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..core.batch import PMFBatch
-from ..core.completion import DroppingPolicy
+from ..core.completion import DroppingPolicy, chain_step
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
 from .machine import Machine, batched_availability
+from .state import SystemState
 from .task import Task
 
 __all__ = ["MappingContext", "MappingDecision", "Assignment", "QueueDrop", "TerminalEvent"]
@@ -79,11 +80,19 @@ class MappingContext:
     #: Condition the executing task's PCT on it not having finished yet.
     #: Off by default: the paper anchors the PCT at the observed start time.
     condition_executing_on_now: bool = False
+    #: Live availability state owned by the engine.  When present, the
+    #: availability accessors below are *views* over its incrementally
+    #: maintained chains; when absent (contexts built by hand in tests or
+    #: analysis code) they fall back to per-machine snapshot recomputation.
+    #: Both paths are bit-identical.
+    state: SystemState | None = None
     _availability_cache: dict[int, DiscretePMF] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     def machine_availability(self, machine_index: int) -> DiscretePMF:
-        """Availability PMF of a machine's *current* queue (cached per event)."""
+        """Availability PMF of a machine's *current* queue (live view)."""
+        if self.state is not None:
+            return self.state.availability(machine_index, self.now)
         if machine_index not in self._availability_cache:
             machine = self.machines[machine_index]
             self._availability_cache[machine_index] = machine.availability_pmf(
@@ -98,10 +107,9 @@ class MappingContext:
     def availability_batch(self) -> PMFBatch:
         """All machines' availability PMFs on one aligned batch grid.
 
-        Convenience for heuristics or analysis code that scores against the
-        *real* queues; the in-tree two-phase heuristics instead batch their
-        virtual (post-drop, post-commit) availabilities inside
-        ``ScoreTable``.
+        Served straight from the live :class:`SystemState` batch when the
+        engine provides one (no recomputation, no restacking unless a queue
+        changed); otherwise stacked on the fly from per-machine snapshots.
 
         Returns
         -------
@@ -111,6 +119,8 @@ class MappingContext:
             :meth:`machine_availability` serves — the input shape the
             batched scoring kernels of :mod:`repro.core.batch` consume.
         """
+        if self.state is not None:
+            return self.state.availability_batch(self.now)
         return batched_availability(
             self.machines,
             self.pet,
@@ -119,6 +129,35 @@ class MappingContext:
             max_impulses=self.max_impulses,
             condition_on_now=self.condition_executing_on_now,
         )
+
+    def availability_excluding(
+        self, machine_index: int, dropped_task_ids: Iterable[int]
+    ) -> DiscretePMF:
+        """Availability of a machine's queue with some tasks dropped.
+
+        The pruning path uses this to see post-drop availability.  With a
+        live state the chain prefix ahead of the first dropped task is
+        reused and only the suffix is re-convolved; the fallback rebuilds
+        the reduced chain from scratch.  Bit-identical either way.
+        """
+        dropped = set(dropped_task_ids)
+        if self.state is not None:
+            return self.state.availability_excluding(machine_index, dropped, self.now)
+        machine = self.machines[machine_index]
+        kept = [t for t in machine.queued_tasks() if t.task_id not in dropped]
+        prev = DiscretePMF.point(self.now)
+        if machine.executing is not None and kept and kept[0] is machine.executing:
+            prev = machine.executing_anchor_pmf(
+                self.pet,
+                self.now,
+                policy=self.policy,
+                condition_on_now=self.condition_executing_on_now,
+            )
+            kept = kept[1:]
+        for task in kept:
+            pet_entry = self.pet.get(task.task_type, machine.index)
+            prev = chain_step(pet_entry, prev, task.deadline, self.policy, self.max_impulses)
+        return prev
 
     def executing_pmf(self, machine_index: int) -> DiscretePMF:
         """Completion-time PMF of the machine's executing task (if any)."""

@@ -1,0 +1,495 @@
+"""Persistent incremental availability state of the whole system.
+
+Before this layer existed, every mapping event rebuilt machine availability
+from scratch: any queue mutation invalidated the machine's snapshot cache
+and the next event re-convolved the *entire* completion-time chain of that
+queue (Section IV, Eqs. 2-5), even when the mutation only appended one task
+at the tail.  :class:`SystemState` turns availability into a
+simulation-lifetime, incrementally-maintained structure:
+
+* every machine's completion-time chain (``chain[k]`` = availability after
+  the ``k``-th queued task) is kept alive across mapping events,
+* queue mutations are *notifications* (:meth:`notify_enqueue`,
+  :meth:`notify_start`, :meth:`notify_finish`, :meth:`notify_remove`) that
+  invalidate only the dirty *suffix* of the affected machine's chain — an
+  enqueue costs one convolution step, a drop at position ``p`` costs
+  ``len(queue) - p`` steps, and untouched machines cost nothing,
+* all machines' availability PMFs are served as one live, padded
+  ``(n_machines, support)`` :class:`~repro.core.batch.PMFBatch`
+  (:meth:`availability_batch`) — the exact input shape the batched scoring
+  kernels consume,
+* :meth:`rebuild` recomputes everything from scratch, propagating the
+  independent per-machine chains *in lockstep* through
+  :func:`~repro.core.completion.batched_completion_step` (one ragged-batch
+  convolve per queue position across all machines).
+
+Exact-equivalence contract
+--------------------------
+The incremental path and the rebuild-from-scratch path are **bit-identical**
+(``atol=0``): both run the same scalar-mirroring chain step
+(:func:`~repro.core.completion.completion_pmf` followed by impulse
+aggregation) with the same strict left-to-right reduction discipline as the
+rest of the batched engine, and incremental maintenance only ever *caches*
+immutable intermediate PMFs instead of recomputing them.  Construct the
+state with ``cross_check=True`` (or run the simulator with
+``SimulatorConfig(state_cross_check=True)``) and every availability query
+re-derives the chain from scratch through the lockstep kernel and raises
+:class:`SystemStateError` on any bit-level divergence —
+``tests/simulator/test_state.py`` runs seeded full trials in this mode.
+
+Time anchoring
+--------------
+With the paper's default anchoring (the executing task's completion PMF is
+pinned at its observed start time) a non-empty machine's chain does not
+depend on the current time, so it survives across mapping events untouched.
+Chains whose base is the current time — an idle machine's ``point(now)``,
+or any chain under ``condition_executing_on_now=True`` — are transparently
+re-anchored when queried at a different ``now``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.batch import PMFBatch
+from ..core.completion import (
+    DroppingPolicy,
+    batched_completion_step,
+    chain_step,
+)
+from ..core.pmf import DiscretePMF
+from ..pet.matrix import PETMatrix
+from .machine import Machine
+from .task import Task
+
+__all__ = ["SystemState", "SystemStateError"]
+
+
+class SystemStateError(RuntimeError):
+    """Raised when cross-check mode detects incremental/rebuild divergence."""
+
+
+class _MachineChain:
+    """Mutable per-machine record: task mirror, chain cache, dirty suffix."""
+
+    __slots__ = (
+        "tasks",
+        "chain",
+        "dirty_from",
+        "head_executing",
+        "anchor_now",
+        "version",
+        "revision",
+        "verified_at",
+    )
+
+    def __init__(self) -> None:
+        #: Mirror of ``machine.queued_tasks()`` (executing task first).
+        self.tasks: list[Task] = []
+        #: ``chain[k]`` is the availability PMF after ``tasks[k]``; entries
+        #: past ``dirty_from`` are stale and recomputed lazily.
+        self.chain: list[DiscretePMF] = []
+        #: First chain index that needs recomputation (``len(tasks)`` = clean).
+        self.dirty_from: int = 0
+        #: Whether ``chain[0]`` was computed with ``tasks[0]`` executing.
+        self.head_executing: bool = False
+        #: The ``now`` the chain base was anchored at (only meaningful when
+        #: the base is time-dependent: idle head or conditioned executing PMF).
+        self.anchor_now: int | None = None
+        #: ``machine.queue_version`` at the last (re)sync — the defensive
+        #: change detector for mutations that arrived without a notification.
+        self.version: int = 0
+        #: Bumped whenever the cached chain content may have changed; with
+        #: the query time it keys cross-check verification, so an untouched
+        #: machine re-verifies only when queried at a new ``now`` (the case
+        #: a missed re-anchor would corrupt).
+        self.revision: int = 0
+        self.verified_at: tuple[int, int] | None = None
+
+
+class SystemState:
+    """Live, incrementally-updated availability engine for all machines.
+
+    Parameters
+    ----------
+    machines:
+        The simulator's machines; the state observes them but never mutates
+        their queues.
+    pet:
+        PET matrix used to extend completion-time chains.
+    policy:
+        Dropping regime of the running system (Section IV); fixed for the
+        lifetime of the state, like the simulator config it derives from.
+    max_impulses:
+        Impulse-aggregation cap applied after every chain step.
+    condition_executing_on_now:
+        Mirror of :attr:`SimulatorConfig.condition_executing_on_now`; when
+        True every non-empty chain is time-dependent and is re-anchored at
+        each mapping event (matching the pre-existing per-event costs).
+    cross_check:
+        When True, every availability query re-derives the machine's chain
+        from scratch through the lockstep rebuild kernel and raises
+        :class:`SystemStateError` on any bit-level mismatch with the
+        incrementally maintained chain.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        pet: PETMatrix,
+        *,
+        policy: DroppingPolicy = DroppingPolicy.EVICT,
+        max_impulses: int | None = 32,
+        condition_executing_on_now: bool = False,
+        cross_check: bool = False,
+    ) -> None:
+        self.machines = list(machines)
+        self.pet = pet
+        self.policy = policy
+        self.max_impulses = max_impulses
+        self.condition_executing_on_now = bool(condition_executing_on_now)
+        self.cross_check = bool(cross_check)
+        self._records = [_MachineChain() for _ in self.machines]
+        self._version = 0
+        self._batch_cache: tuple[tuple[int, int], PMFBatch] | None = None
+        for machine, rec in zip(self.machines, self._records):
+            self._resync_from_machine(rec, machine)
+
+    # ------------------------------------------------------------------
+    # Notifications (called by the engine next to each queue mutation)
+    # ------------------------------------------------------------------
+    def notify_enqueue(self, machine_index: int, task: Task) -> None:
+        """A task was appended to the machine's local queue (tail extend)."""
+        machine = self.machines[machine_index]
+        rec = self._records[machine_index]
+        if rec.version == machine.queue_version - 1:
+            rec.tasks.append(task)
+            rec.version = machine.queue_version
+        else:
+            self._resync_from_machine(rec, machine)
+        self._touch(rec)
+
+    def notify_start(self, machine_index: int) -> None:
+        """The head task began executing (anchoring changed, membership not)."""
+        machine = self.machines[machine_index]
+        rec = self._records[machine_index]
+        if rec.version == machine.queue_version - 1:
+            rec.dirty_from = 0
+            rec.version = machine.queue_version
+        else:
+            self._resync_from_machine(rec, machine)
+        self._touch(rec)
+
+    def notify_finish(self, machine_index: int, task: Task) -> None:
+        """The executing head task left the machine (completion or eviction)."""
+        machine = self.machines[machine_index]
+        rec = self._records[machine_index]
+        if (
+            rec.version == machine.queue_version - 1
+            and rec.tasks
+            and rec.tasks[0] is task
+        ):
+            # The whole chain was anchored on the departed head.
+            del rec.tasks[0]
+            rec.chain.clear()
+            rec.dirty_from = 0
+            rec.version = machine.queue_version
+        else:
+            self._resync_from_machine(rec, machine)
+        self._touch(rec)
+
+    def notify_remove(self, machine_index: int, task: Task) -> None:
+        """A pending task was removed (deadline miss or proactive drop)."""
+        machine = self.machines[machine_index]
+        rec = self._records[machine_index]
+        position = next(
+            (k for k, queued in enumerate(rec.tasks) if queued is task), None
+        )
+        if rec.version == machine.queue_version - 1 and position is not None:
+            del rec.tasks[position]
+            del rec.chain[position:]
+            rec.dirty_from = min(rec.dirty_from, position)
+            rec.version = machine.queue_version
+        else:
+            self._resync_from_machine(rec, machine)
+        self._touch(rec)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def availability(self, machine_index: int, now: int) -> DiscretePMF:
+        """Availability PMF of one machine's current queue at time ``now``.
+
+        Bit-identical to
+        :meth:`repro.simulator.machine.Machine.availability_pmf` with the
+        state's policy/aggregation settings — the chain runs the same scalar
+        steps; it is merely cached across events instead of rebuilt.
+        """
+        rec = self._sync(machine_index, int(now))
+        if self.cross_check:
+            self._verify(machine_index, int(now), rec)
+        if not rec.tasks:
+            return DiscretePMF.point(int(now))
+        return rec.chain[-1]
+
+    def chain(self, machine_index: int, now: int) -> tuple[DiscretePMF, ...]:
+        """The machine's full completion-time chain (one PMF per queued task)."""
+        rec = self._sync(machine_index, int(now))
+        if self.cross_check:
+            self._verify(machine_index, int(now), rec)
+        return tuple(rec.chain)
+
+    def availability_batch(self, now: int) -> PMFBatch:
+        """All machines' availability PMFs on one aligned, padded batch grid.
+
+        The batch is cached and only re-stacked when some machine's chain
+        (or the current time, for time-anchored chains) changed; row ``j``
+        is machine ``j`` and the values match :meth:`availability` bit for
+        bit.
+        """
+        now = int(now)
+        pmfs = [
+            self.availability(machine_index, now)
+            for machine_index in range(len(self.machines))
+        ]
+        key = (self._version, now)
+        if self._batch_cache is not None and self._batch_cache[0] == key:
+            return self._batch_cache[1]
+        batch = PMFBatch.from_pmfs(pmfs)
+        self._batch_cache = (key, batch)
+        return batch
+
+    def availability_excluding(
+        self, machine_index: int, dropped_task_ids: Iterable[int], now: int
+    ) -> DiscretePMF:
+        """Availability of a machine's queue with some tasks removed.
+
+        Used by the pruning path to evaluate post-drop availability: the
+        chain *prefix* ahead of the first dropped task is reused verbatim
+        and only the suffix behind it is re-convolved — bit-identical to
+        recomputing the reduced queue from scratch, at a fraction of the
+        cost.
+        """
+        now = int(now)
+        dropped = set(dropped_task_ids)
+        rec = self._sync(machine_index, now)
+        tasks = rec.tasks
+        kept = [task for task in tasks if task.task_id not in dropped]
+        if len(kept) == len(tasks):
+            return self.availability(machine_index, now)
+        if not kept:
+            return DiscretePMF.point(now)
+        first = next(
+            k for k, task in enumerate(tasks) if task.task_id in dropped
+        )
+        machine = self.machines[machine_index]
+        if first == 0:
+            # Head (possibly the executing task) dropped: the reduced chain
+            # starts from an immediately-free machine, matching the pruner.
+            prev = DiscretePMF.point(now)
+            suffix = kept
+        else:
+            prev = rec.chain[first - 1]
+            suffix = kept[first:]
+        for task in suffix:
+            prev = chain_step(
+                self.pet.get(task.task_type, machine.index),
+                prev,
+                task.deadline,
+                self.policy,
+                self.max_impulses,
+            )
+        return prev
+
+    # ------------------------------------------------------------------
+    # Rebuild path (cross-check reference and cold start)
+    # ------------------------------------------------------------------
+    def rebuild(self, now: int) -> None:
+        """Recompute every machine's chain from scratch, in lockstep.
+
+        All machines' chains advance one queue position per round through
+        :func:`~repro.core.completion.batched_completion_step` (machines
+        whose queues are exhausted drop out of the round).  The result
+        replaces the incremental caches and is bit-identical to them — this
+        is the reference path the cross-check mode compares against and the
+        baseline the incremental benchmark gate measures.
+        """
+        now = int(now)
+        chains = self._rebuild_chains(range(len(self.machines)), now)
+        for machine_index, chain in zip(range(len(self.machines)), chains):
+            machine = self.machines[machine_index]
+            rec = self._records[machine_index]
+            rec.tasks = machine.queued_tasks()
+            rec.chain = chain
+            rec.dirty_from = len(rec.tasks)
+            rec.head_executing = bool(rec.tasks) and rec.tasks[0] is machine.executing
+            rec.anchor_now = now
+            rec.version = machine.queue_version
+            self._touch(rec)
+
+    def _rebuild_chains(
+        self, machine_indices: Iterable[int], now: int
+    ) -> list[list[DiscretePMF]]:
+        """From-scratch chains for several machines via lockstep propagation."""
+        indices = list(machine_indices)
+        chains: list[list[DiscretePMF]] = [[] for _ in indices]
+        tasks_of: list[list[Task]] = []
+        prevs: list[DiscretePMF] = []
+        positions: list[int] = []
+        for row, machine_index in enumerate(indices):
+            machine = self.machines[machine_index]
+            tasks = machine.queued_tasks()
+            tasks_of.append(tasks)
+            if tasks and tasks[0] is machine.executing:
+                prev = self._executing_anchor(machine, now)
+                chains[row].append(prev)
+                positions.append(1)
+            else:
+                prev = DiscretePMF.point(now)
+                positions.append(0)
+            prevs.append(prev)
+        while True:
+            rows = [
+                row
+                for row in range(len(indices))
+                if positions[row] < len(tasks_of[row])
+            ]
+            if not rows:
+                break
+            step_tasks = [tasks_of[row][positions[row]] for row in rows]
+            stepped = batched_completion_step(
+                [
+                    self.pet.get(task.task_type, indices[row])
+                    for row, task in zip(rows, step_tasks)
+                ],
+                [prevs[row] for row in rows],
+                [task.deadline for task in step_tasks],
+                self.policy,
+                max_impulses=self.max_impulses,
+            )
+            for row, pmf in zip(rows, stepped):
+                prevs[row] = pmf
+                chains[row].append(pmf)
+                positions[row] += 1
+        return chains
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _touch(self, rec: _MachineChain) -> None:
+        rec.revision += 1
+        self._version += 1
+        self._batch_cache = None
+
+    def _resync_from_machine(self, rec: _MachineChain, machine: Machine) -> None:
+        """Defensive full resync after an un-notified queue mutation."""
+        rec.tasks = machine.queued_tasks()
+        rec.chain = []
+        rec.dirty_from = 0
+        rec.version = machine.queue_version
+
+    def _executing_anchor(self, machine: Machine, now: int) -> DiscretePMF:
+        """Chain base for an executing head (the shared anchor helper)."""
+        return machine.executing_anchor_pmf(
+            self.pet,
+            now,
+            policy=self.policy,
+            condition_on_now=self.condition_executing_on_now,
+        )
+
+    def _sync(self, machine_index: int, now: int) -> _MachineChain:
+        machine = self.machines[machine_index]
+        rec = self._records[machine_index]
+        if rec.version != machine.queue_version:
+            self._resync_from_machine(rec, machine)
+            self._touch(rec)
+        tasks = rec.tasks
+        if not tasks:
+            rec.dirty_from = 0
+            return rec
+        head_executing = machine.executing is not None and tasks[0] is machine.executing
+        time_anchored = not head_executing or self.condition_executing_on_now
+        if rec.dirty_from > 0:
+            if head_executing != rec.head_executing:
+                rec.dirty_from = 0
+            elif time_anchored and rec.anchor_now != now:
+                rec.dirty_from = 0
+            elif (
+                head_executing
+                and self.policy is DroppingPolicy.EVICT
+                and rec.anchor_now is not None
+                and max(machine.executing.deadline, rec.anchor_now + 1)
+                != max(machine.executing.deadline, now + 1)
+            ):
+                # An executing head that has outlived its deadline: the
+                # evict collapse point ``max(deadline, now + 1)`` tracks
+                # the query time, so the anchor must be recomputed.  (The
+                # engine always evicts at the deadline, but externally
+                # driven machines can be queried in this window.)
+                rec.dirty_from = 0
+        if rec.dirty_from >= len(tasks):
+            return rec
+        self._advance(rec, machine, now)
+        self._touch(rec)
+        return rec
+
+    def _advance(self, rec: _MachineChain, machine: Machine, now: int) -> None:
+        """Recompute the dirty suffix of one machine's chain."""
+        tasks = rec.tasks
+        start = rec.dirty_from
+        del rec.chain[start:]
+        if start == 0:
+            head_executing = (
+                machine.executing is not None and tasks[0] is machine.executing
+            )
+            if head_executing:
+                prev = self._executing_anchor(machine, now)
+                rec.chain.append(prev)
+                start = 1
+            else:
+                prev = DiscretePMF.point(now)
+            rec.head_executing = head_executing
+            rec.anchor_now = now
+        else:
+            prev = rec.chain[start - 1]
+        for task in tasks[start:]:
+            prev = chain_step(
+                self.pet.get(task.task_type, machine.index),
+                prev,
+                task.deadline,
+                self.policy,
+                self.max_impulses,
+            )
+            rec.chain.append(prev)
+        rec.dirty_from = len(tasks)
+
+    def _verify(self, machine_index: int, now: int, rec: _MachineChain) -> None:
+        """Cross-check the incremental chain against a from-scratch rebuild.
+
+        Keyed on ``(revision, now)``: a chain is re-verified whenever its
+        cached content changed *or* it is queried at a new time — the
+        latter is exactly the window in which a missed re-anchor in
+        ``_sync`` would serve a stale chain, so it must not be memoised
+        away.
+        """
+        if rec.verified_at == (rec.revision, now):
+            return
+        reference = self._rebuild_chains([machine_index], now)[0]
+        if len(reference) != len(rec.chain):
+            raise SystemStateError(
+                f"machine {machine_index}: incremental chain has "
+                f"{len(rec.chain)} entries, rebuild has {len(reference)}"
+            )
+        for position, (incremental, rebuilt) in enumerate(
+            zip(rec.chain, reference)
+        ):
+            if incremental.offset != rebuilt.offset or not np.array_equal(
+                incremental.probs, rebuilt.probs
+            ):
+                raise SystemStateError(
+                    f"machine {machine_index}: incremental chain diverges "
+                    f"from rebuild at queue position {position} (time {now})"
+                )
+        rec.verified_at = (rec.revision, now)

@@ -2,8 +2,10 @@
 
 Artefacts are JSON files named by the point's content address
 (:func:`repro.sweep.spec.cache_key`), sharded into 256 two-hex-digit
-subdirectories.  Because the address covers every config field and the seed,
-a lookup is either an exact replay of a previous run or a miss — there is no
+subdirectories.  Because the address covers every config field, the seed,
+and the scoring-kernel version tag (:data:`repro.core.batch.KERNEL_VERSION`
+— bumped whenever kernel semantics could change simulated values), a lookup
+is either an exact replay of a previous run or a miss — there is no
 invalidation protocol.  Writes go through a temporary file plus
 ``os.replace`` so an interrupted sweep never leaves a truncated artefact
 that would poison later runs.

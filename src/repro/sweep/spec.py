@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 
 import numpy as np
 
+from ..core.batch import KERNEL_VERSION
 from ..heuristics.registry import HEURISTIC_NAMES, make_heuristic
 from ..pet.builders import build_spec_pet, build_transcoding_pet
 from ..pruning.oversubscription import OversubscriptionDetector
@@ -64,6 +65,10 @@ def spawn_trial_seeds(seed: int, trials: int) -> list[np.random.SeedSequence]:
 
 #: Bumped whenever the semantics of a cached artefact change; part of every
 #: content address so stale artefacts are simply never looked up again.
+#: The scoring/chain-kernel semantics are versioned separately: every
+#: content address also folds in :data:`repro.core.batch.KERNEL_VERSION`,
+#: so a kernel change that could alter simulated values invalidates cached
+#: results without touching the artefact schema.
 CACHE_SCHEMA_VERSION = 1
 
 #: PET kinds understood by :meth:`PETSpec.build`.
@@ -185,6 +190,7 @@ def point_payload(point: SweepPoint) -> dict[str, object]:
     """Canonical JSON-able description of a point's *content* (no label)."""
     return {
         "schema": CACHE_SCHEMA_VERSION,
+        "engine": KERNEL_VERSION,
         "pet": asdict(point.pet),
         "heuristic": asdict(point.heuristic),
         "workload": asdict(point.workload),
@@ -200,7 +206,10 @@ def cache_key(point: SweepPoint) -> str:
     """Stable content address of a point: SHA-256 over canonical JSON.
 
     Stable across processes and platforms (unlike builtin ``hash``), and
-    sensitive to every config field and the seed by construction.
+    sensitive to every config field, the seed, and the scoring-kernel
+    version tag by construction — bumping
+    :data:`repro.core.batch.KERNEL_VERSION` therefore invalidates every
+    previously cached result.
     """
     canonical = json.dumps(point_payload(point), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -15,14 +15,15 @@ import numpy as np
 import pytest
 
 from repro.core.batch import (
-    CDFTable,
     PMFBatch,
     batched_convolve,
+    batched_convolve_ragged,
     batched_expected_completion,
     batched_shift,
     batched_success_probability,
     sequential_sum,
 )
+from repro.core.completion import DroppingPolicy, batched_completion_step, completion_pmf
 from repro.core.pmf import DiscretePMF
 from repro.heuristics.scoring import expected_completion, fast_success_probability
 
@@ -166,6 +167,75 @@ class TestBatchedConvolve:
         batch = PMFBatch.from_pmfs(mixed_pmfs)
         out = batched_convolve(batch, DiscretePMF.zero())
         assert np.array_equal(out.probs, np.zeros_like(out.probs))
+
+
+class TestBatchedConvolveRagged:
+    def test_bit_identical_to_per_row_convolve_with(self, mixed_pmfs, kernels, rng):
+        """Every row convolves with its own kernel; ascending-impulse
+        accumulation and exact-zero padding keep each row bit-identical to
+        the scalar shift-and-add, however rows are grouped."""
+        batch = PMFBatch.from_pmfs(mixed_pmfs)
+        row_kernels = [kernels[i % len(kernels)] for i in range(batch.n_pmfs)]
+        out = batched_convolve_ragged(batch, row_kernels)
+        for i, (pmf, kernel) in enumerate(zip(mixed_pmfs, row_kernels)):
+            scalar = batch.row(i).convolve_with(kernel).compact()
+            got = out.row(i).compact()
+            if scalar.is_zero():
+                assert got.is_zero()
+            else:
+                assert_same_pmf_bits(got, scalar)
+
+    def test_kernel_count_must_match_rows(self, mixed_pmfs, kernels):
+        batch = PMFBatch.from_pmfs(mixed_pmfs)
+        with pytest.raises(ValueError):
+            batched_convolve_ragged(batch, kernels[:2])
+
+    def test_grouping_invariance(self, mixed_pmfs, kernels):
+        """A row's result does not depend on which other rows share the call."""
+        full = batched_convolve_ragged(
+            PMFBatch.from_pmfs(mixed_pmfs[:3]), kernels[:3]
+        )
+        for i in range(3):
+            alone = batched_convolve_ragged(
+                PMFBatch.from_pmfs([mixed_pmfs[i]]), [kernels[i]]
+            )
+            assert_same_pmf_bits(full.row(i).compact(), alone.row(0).compact())
+
+
+class TestBatchedCompletionStep:
+    @pytest.mark.parametrize("policy", list(DroppingPolicy))
+    @pytest.mark.parametrize("max_impulses", [None, 16])
+    def test_bit_identical_to_scalar_chain_step(self, rng, policy, max_impulses):
+        """One lockstep chain advance equals the scalar step per row, bits
+        and offsets included — the contract ``SystemState.rebuild`` relies
+        on."""
+        pets = [
+            DiscretePMF.from_samples(rng.gamma(2.0, 30.0, size=200)) for _ in range(6)
+        ]
+        prevs = [
+            DiscretePMF.point(40),
+            DiscretePMF.from_samples(rng.gamma(2.0, 50.0, size=300)).aggregate(32),
+            DiscretePMF.from_impulses({55: 0.25, 80: 0.5, 130: 0.125}),
+            DiscretePMF.zero(),
+            DiscretePMF.from_samples(rng.gamma(3.0, 20.0, size=300)),  # dense prev
+            DiscretePMF.point(500),  # entirely past the deadline
+        ]
+        deadlines = [120, 160, 90, 100, 140, 130]
+        stepped = batched_completion_step(
+            pets, prevs, deadlines, policy, max_impulses=max_impulses
+        )
+        for got, pet, prev, deadline in zip(stepped, pets, prevs, deadlines):
+            want = completion_pmf(pet, prev, deadline, policy)
+            if max_impulses is not None:
+                want = want.aggregate(max_impulses)
+            assert got.offset == want.offset
+            assert np.array_equal(got.probs, want.probs)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            batched_completion_step(
+                [DiscretePMF.point(1)], [DiscretePMF.point(0)], [5, 6]
+            )
 
 
 class TestBatchedSuccessProbability:

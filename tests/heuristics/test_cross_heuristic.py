@@ -11,7 +11,6 @@ import pytest
 
 import repro
 from repro.heuristics.registry import HEURISTIC_NAMES, make_heuristic
-from repro.simulator.task import TaskStatus
 
 
 @pytest.fixture(scope="module")

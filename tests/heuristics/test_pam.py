@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.completion import DroppingPolicy
 from repro.heuristics.pam import PruningAwareMapper
 from repro.pruning.oversubscription import OversubscriptionDetector

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.heuristics.baselines import MinCompletionMinCompletion
 from repro.heuristics.pam import PruningAwareMapper
 from repro.simulator.engine import HCSimulator, SimulatorConfig, simulate
 from repro.simulator.task import DropReason, TaskStatus
-from repro.workload.generator import WorkloadConfig, generate_workload
 
 
 class TestBasicRuns:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.completion import DroppingPolicy
 from repro.simulator.machine import Machine
-from repro.simulator.task import Task, TaskStatus
+from repro.simulator.task import Task
 from repro.workload.spec import TaskSpec
 
 

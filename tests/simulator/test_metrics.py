@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.simulator.metrics import SimulationCounters, SimulationResult
-from repro.simulator.task import DropReason, Task, TaskStatus
+from repro.simulator.task import DropReason, Task
 from repro.workload.spec import TaskSpec
 
 

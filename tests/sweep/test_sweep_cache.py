@@ -75,6 +75,31 @@ class TestResultCache:
         cache.store(point, make_trials(2))
         assert not list(tmp_path.rglob("*.tmp"))
 
+    def test_kernel_version_bump_invalidates_cached_results(
+        self, tmp_path, point, monkeypatch
+    ):
+        """A scoring-kernel semantics change must miss every old artefact.
+
+        The engine/kernel version tag is part of the content address, so
+        bumping :data:`repro.core.batch.KERNEL_VERSION` changes the key and
+        previously stored results are simply never looked up again.
+        """
+        import repro.sweep.spec as spec_module
+
+        cache = ResultCache(tmp_path)
+        cache.store(point, make_trials(2))
+        assert cache.load(point) is not None
+        old_key = point.cache_key()
+        assert spec_module.point_payload(point)["engine"] == spec_module.KERNEL_VERSION
+
+        monkeypatch.setattr(
+            spec_module, "KERNEL_VERSION", spec_module.KERNEL_VERSION + 1
+        )
+        assert point.cache_key() != old_key
+        assert cache.load(point) is None  # old artefact is invisible
+        cache.store(point, make_trials(2))
+        assert cache.load(point) is not None  # re-executed result cached anew
+
 
 class TestTrialMetricsPayload:
     def test_roundtrip(self):

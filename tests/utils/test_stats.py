@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.utils.rng import make_generator, spawn_generators
-from repro.utils.stats import Summary, confidence_interval_95, mean_and_ci, summarize
+from repro.utils.stats import confidence_interval_95, mean_and_ci, summarize
 from repro.utils.tables import format_table
 
 
