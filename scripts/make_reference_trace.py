@@ -1,0 +1,63 @@
+"""Regenerate (or verify) the shipped 660-task transcoding reference trace.
+
+The committed ``examples/transcoding_660.trace.json`` is the deterministic
+output of :func:`repro.workload.transcoding.reference_transcoding_trace` at
+the default seed; this script rewrites it and prints the canonical content
+hash so a reviewer can confirm the artefact matches the builder.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_reference_trace.py [--check]
+
+``--check`` verifies the committed file against the builder output without
+writing (exit status 1 on mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workload.traces import (  # noqa: E402
+    file_content_hash,
+    save_trace,
+    trace_content_hash,
+)
+from repro.workload.transcoding import reference_transcoding_trace  # noqa: E402
+
+REFERENCE_PATH = (
+    Path(__file__).resolve().parent.parent / "examples" / "transcoding_660.trace.json"
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed file matches the builder instead of writing",
+    )
+    args = parser.parse_args(argv)
+
+    trace = reference_transcoding_trace()
+    expected = trace_content_hash(trace)
+    if args.check:
+        if not REFERENCE_PATH.exists():
+            print(f"missing reference trace: {REFERENCE_PATH}")
+            return 1
+        actual = file_content_hash(REFERENCE_PATH)
+        if actual != expected:
+            print(f"reference trace drifted: file {actual} != builder {expected}")
+            return 1
+        print(f"reference trace OK ({expected})")
+        return 0
+    path = save_trace(trace, REFERENCE_PATH)
+    print(f"wrote {path} ({len(trace)} tasks, sha256 {expected})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,9 +74,18 @@ from .sweep import (
     SweepOutcome,
     SweepPoint,
     SweepSpec,
+    TraceSpec,
     run_sweep,
 )
-from .workload import TaskSpec, WorkloadConfig, WorkloadTrace, generate_workload
+from .workload import (
+    TaskSpec,
+    WorkloadConfig,
+    WorkloadTrace,
+    generate_transcoding_trace,
+    generate_workload,
+    load_trace,
+    save_trace,
+)
 
 __version__ = "0.3.0"
 
@@ -123,10 +132,15 @@ __all__ = [
     # sweep orchestration
     "PETSpec",
     "HeuristicSpec",
+    "TraceSpec",
     "SweepPoint",
     "SweepSpec",
     "SweepOutcome",
     "ParallelExecutor",
     "ResultCache",
     "run_sweep",
+    # trace persistence / replay
+    "save_trace",
+    "load_trace",
+    "generate_transcoding_trace",
 ]

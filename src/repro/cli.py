@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``simulate``
     Run one workload trial with a chosen heuristic and print the headline
@@ -17,12 +17,24 @@ Three subcommands cover the common workflows:
     are cached under ``--cache-dir`` so interrupted or repeated sweeps
     resume instantly.
 
+``trace``
+    Work with recorded workload traces: ``record`` synthesises a trace to
+    a JSON file, ``inspect`` summarises one, and ``replay`` runs one
+    through the sweep/cache pipeline with chosen heuristics (every
+    heuristic replays the identical arrivals — the paper's paired
+    protocol).
+
 Examples::
 
     python -m repro.cli simulate --heuristic PAM --tasks 500 --span 2500
     python -m repro.cli figure 7 --trials 2
     python -m repro.cli figure 9 --trials 3 --output-dir results/
     python -m repro.cli sweep 4 7 --jobs 4 --cache-dir results/cache
+    python -m repro.cli sweep 9 --trace examples/transcoding_660.trace.json
+    python -m repro.cli trace record --builder transcoding-660 --out my.trace.json
+    python -m repro.cli trace inspect examples/transcoding_660.trace.json
+    python -m repro.cli trace replay examples/transcoding_660.trace.json \
+        --heuristics PAMF MM --jobs 4 --cache-dir results/cache
 """
 
 from __future__ import annotations
@@ -51,6 +63,13 @@ from .experiments import (
 from .experiments.reporting import save_figure_result
 from .heuristics.registry import HEURISTIC_NAMES
 from .sweep import StreamReporter
+from .workload import (
+    TRACE_BUILDERS,
+    build_named_trace,
+    load_trace,
+    save_trace,
+    trace_content_hash,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -114,6 +133,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-point progress on stderr"
     )
 
+    trace = subparsers.add_parser("trace", help="record, inspect, or replay workload traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser("record", help="synthesise a trace and save it to JSON")
+    record.add_argument("--out", required=True, help="output trace file (JSON)")
+    source = record.add_mutually_exclusive_group()
+    source.add_argument(
+        "--builder",
+        choices=sorted(TRACE_BUILDERS),
+        default=None,
+        help="named trace builder (e.g. the 660-task transcoding reference shape)",
+    )
+    source.add_argument(
+        "--workload",
+        choices=("spec", "transcoding"),
+        default=None,
+        help="synthesise a Section VI-B workload on this PET instead",
+    )
+    record.add_argument("--tasks", type=int, default=None, help="number of arriving tasks")
+    record.add_argument(
+        "--span",
+        type=int,
+        default=None,
+        help="arrival window in time units (synthetic workloads only; default 3000)",
+    )
+    record.add_argument(
+        "--beta",
+        type=float,
+        default=None,
+        help="deadline slack coefficient (synthetic workloads only; default 1.5)",
+    )
+    record.add_argument("--seed", type=int, default=2019)
+
+    inspect = trace_sub.add_parser("inspect", help="summarise a recorded trace file")
+    inspect.add_argument("file", help="trace file written by 'trace record' or save_trace")
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay a recorded trace through the sweep/cache pipeline"
+    )
+    replay.add_argument("file", help="trace file to replay")
+    replay.add_argument(
+        "--heuristics",
+        nargs="+",
+        default=["PAMF", "MM"],
+        choices=sorted(HEURISTIC_NAMES),
+        help="heuristics to compare on the identical replayed arrivals",
+    )
+    replay.add_argument(
+        "--pet",
+        choices=("spec", "transcoding"),
+        default="transcoding",
+        help="PET matrix / system the trace's task types index into",
+    )
+    replay.add_argument("--trials", type=int, default=2, help="execution-sampling trials")
+    replay.add_argument("--seed", type=int, default=2019)
+    replay.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
+    replay.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
+    replay.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress on stderr"
+    )
+
     return parser
 
 
@@ -125,6 +205,13 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
     parser.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     parser.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay this recorded trace file instead of synthesising workloads "
+        "(figure 9 only; e.g. examples/transcoding_660.trace.json)",
+    )
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -166,8 +253,24 @@ def _run_figure(
 ) -> None:
     driver, headers = _FIGURES[number]
     config = ExperimentConfig(trials=args.trials, seed=args.seed, task_scale=args.task_scale)
+    extra: dict[str, object] = {}
+    if getattr(args, "trace", None) is not None:
+        if number != 9:
+            raise SystemExit(
+                f"--trace only applies to figure 9 (the transcoding replay), not figure {number}"
+            )
+        from .experiments.fig9_transcoding import coerce_fig9_trace
+
+        # Validate the trace up front so only genuine trace problems turn
+        # into clean exits; errors out of the run itself propagate intact.
+        try:
+            extra["trace"] = coerce_fig9_trace(args.trace, seed=config.seed)
+        except FileNotFoundError as exc:
+            raise SystemExit(f"trace file not found: {args.trace}") from exc
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     result = driver(
-        config, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+        config, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress, **extra
     )
     print(result.to_text())
     if args.output_dir is not None:
@@ -188,6 +291,134 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summary_lines(trace) -> list[str]:
+    arrivals = [t.arrival for t in trace]
+    slacks = [t.slack for t in trace]
+    counts = trace.type_counts()
+    lines = [
+        f"tasks              : {len(trace)}",
+        f"task types         : {trace.num_task_types} "
+        f"(counts {', '.join(str(int(c)) for c in counts)})",
+        f"arrival window     : {arrivals[0] if arrivals else 0} - "
+        f"{arrivals[-1] if arrivals else 0} "
+        f"(configured span {trace.config.time_span})",
+    ]
+    if slacks:
+        lines.append(
+            f"deadline slack     : min {min(slacks)}, max {max(slacks)}, "
+            f"mean {sum(slacks) / len(slacks):.1f}"
+        )
+    else:
+        lines.append("deadline slack     : n/a")
+    lines.append(f"content sha256     : {trace_content_hash(trace)}")
+    return lines
+
+
+def _command_trace_record(args: argparse.Namespace) -> int:
+    if args.builder is not None:
+        if args.span is not None or args.beta is not None:
+            raise SystemExit(
+                "--span/--beta only apply to synthetic --workload recordings; "
+                f"the {args.builder!r} builder fixes its own workload shape "
+                "(use --seed/--tasks to vary it)"
+            )
+        trace = build_named_trace(args.builder, seed=args.seed, num_tasks=args.tasks)
+        origin = f"builder {args.builder!r} (seed {args.seed})"
+    else:
+        workload_kind = args.workload or "transcoding"
+        pet = (
+            build_spec_pet(rng=args.seed)
+            if workload_kind == "spec"
+            else build_transcoding_pet(rng=args.seed)
+        )
+        tasks = args.tasks if args.tasks is not None else 500
+        span = args.span if args.span is not None else 3000
+        beta = args.beta if args.beta is not None else 1.5
+        config = WorkloadConfig(num_tasks=tasks, time_span=span, beta=beta)
+        trace = generate_workload(config, pet, rng=args.seed + 1)
+        origin = f"synthetic {workload_kind} workload (seed {args.seed})"
+    path = save_trace(trace, args.out)
+    print(f"recorded {origin} -> {path}")
+    for line in _trace_summary_lines(trace):
+        print(line)
+    return 0
+
+
+def _command_trace_inspect(args: argparse.Namespace) -> int:
+    trace = load_trace(args.file)
+    print(f"trace file         : {args.file}")
+    for line in _trace_summary_lines(trace):
+        print(line)
+    return 0
+
+
+def _command_trace_replay(args: argparse.Namespace) -> int:
+    from .experiments.fig9_transcoding import TRACE_LEVEL_LABEL
+    from .simulator.cost import default_prices_for
+    from .sweep import (
+        HeuristicSpec,
+        PETSpec,
+        SweepSpec,
+        TraceSpec,
+        pet_for,
+        run_sweep,
+        trace_for,
+    )
+    from .utils.tables import format_table
+
+    heuristics = list(dict.fromkeys(args.heuristics))
+    config = ExperimentConfig(trials=args.trials, seed=args.seed)
+    pet_spec = PETSpec(kind=args.pet, seed=config.seed)
+    pet = pet_for(pet_spec)
+    trace_spec = TraceSpec(path=args.file)
+    try:
+        # Resolved through the same per-process memo the executor uses, so
+        # the run parses the file once, not once per layer.
+        trace = trace_for(trace_spec)
+    except FileNotFoundError:
+        raise SystemExit(f"trace file not found: {args.file}")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if trace.num_task_types > pet.num_task_types:
+        raise SystemExit(
+            f"trace uses {trace.num_task_types} task types but the {args.pet!r} "
+            f"PET only has {pet.num_task_types}"
+        )
+    spec = SweepSpec.from_traces(
+        pet=pet_spec,
+        heuristics={name: HeuristicSpec(name=name) for name in heuristics},
+        traces={TRACE_LEVEL_LABEL: trace_spec},
+        config=config,
+        machine_prices=tuple(default_prices_for(pet.machine_names)),
+    )
+    progress = None if args.quiet else StreamReporter()
+    outcome = run_sweep(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+    )
+    rows = []
+    for series in outcome.series():
+        summary = series.robustness()
+        rows.append([series.label, summary.mean, summary.ci95])
+    print(f"replayed {args.file} ({len(trace)} tasks, {args.trials} trials each)")
+    print(format_table(["series", "robustness %", "ci95"], rows))
+    if args.cache_dir is not None:
+        print(
+            f"cache: {outcome.cache_hits} hits, {outcome.cache_misses} misses, "
+            f"{outcome.executed_trials} trials executed"
+        )
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _command_trace_record(args)
+    if args.trace_command == "inspect":
+        return _command_trace_inspect(args)
+    if args.trace_command == "replay":
+        return _command_trace_replay(args)
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")  # pragma: no cover
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -196,6 +427,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_figure(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "trace":
+        return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

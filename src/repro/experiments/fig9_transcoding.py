@@ -15,17 +15,29 @@ from pathlib import Path
 
 from ..pruning.thresholds import PruningThresholds
 from ..simulator.cost import default_prices_for
-from ..sweep import HeuristicSpec, PETSpec, SweepSpec, pet_for, run_sweep
+from ..sweep import (
+    HeuristicSpec,
+    PETSpec,
+    SweepSpec,
+    TraceSpec,
+    pet_for,
+    run_sweep,
+    trace_for,
+)
 from ..sweep.progress import ProgressCallback
 from ..utils.tables import format_table
 from .config import ExperimentConfig, transcoding_workload_for_level
 from .runner import SeriesResult
 
-__all__ = ["Fig9Result", "run_fig9"]
+__all__ = ["Fig9Result", "run_fig9", "coerce_fig9_trace", "TRACE_LEVEL_LABEL"]
 
 DEFAULT_LEVELS: tuple[str, ...] = ("10k", "12.5k", "15k", "17.5k")
 
 DEFAULT_HEURISTICS: tuple[str, ...] = ("PAMF", "MM")
+
+#: Level label used when the driver replays a recorded trace instead of
+#: sweeping the synthetic oversubscription levels.
+TRACE_LEVEL_LABEL = "replay"
 
 
 @dataclass
@@ -57,6 +69,30 @@ class Fig9Result:
         )
 
 
+def coerce_fig9_trace(trace: str | Path | TraceSpec, *, seed: int = 2019) -> TraceSpec:
+    """Coerce a trace argument to a :class:`TraceSpec` and fail fast.
+
+    Resolves the trace (memoised) and checks it fits the 4-type
+    transcoding PET, so an incompatible recording is rejected with a clear
+    message here rather than as an ``IndexError`` inside a worker process.
+    Raises :class:`FileNotFoundError`/:class:`ValueError`; the CLI calls
+    this *before* the driver so only genuine trace problems are converted
+    to clean exits.
+    """
+    if not isinstance(trace, TraceSpec):
+        trace = TraceSpec(path=str(trace))
+    resolved = trace_for(trace)
+    pet = pet_for(PETSpec(kind="transcoding", seed=seed))
+    if resolved.num_task_types > pet.num_task_types:
+        raise ValueError(
+            f"trace uses {resolved.num_task_types} task types but the "
+            f"transcoding PET only has {pet.num_task_types}; figure 9 "
+            "replays transcoding-shaped traces (record one with "
+            "'repro trace record --builder transcoding-660')"
+        )
+    return trace
+
+
 def run_fig9(
     config: ExperimentConfig | None = None,
     *,
@@ -67,27 +103,49 @@ def run_fig9(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     progress: ProgressCallback | None = None,
+    trace: str | Path | TraceSpec | None = None,
 ) -> Fig9Result:
-    """Regenerate Figure 9 (video-transcoding workload comparison)."""
+    """Regenerate Figure 9 (video-transcoding workload comparison).
+
+    With ``trace`` (a trace-file path or a :class:`~repro.sweep.TraceSpec`)
+    the synthetic oversubscription-level axis collapses to one
+    ``"replay"`` level: every heuristic replays the identical recorded
+    trace — the paper's actual Figure 9 methodology on its 660-video EC2
+    workload, for which ``examples/transcoding_660.trace.json`` ships as
+    the offline stand-in.
+    """
     config = config or ExperimentConfig()
-    levels = list(dict.fromkeys(levels))
     heuristics = list(dict.fromkeys(heuristics))
     pet_spec = PETSpec(kind="transcoding", seed=config.seed)
     prices = tuple(default_prices_for(pet_for(pet_spec).machine_names))
-    spec = SweepSpec.from_grid(
-        pet=pet_spec,
-        heuristics={
-            name: HeuristicSpec(
-                name=name, thresholds=thresholds, fairness_factor=fairness_factor
-            )
-            for name in heuristics
-        },
-        workloads={
-            level: transcoding_workload_for_level(level, config) for level in levels
-        },
-        config=config,
-        machine_prices=prices,
-    )
+    heuristic_specs = {
+        name: HeuristicSpec(
+            name=name, thresholds=thresholds, fairness_factor=fairness_factor
+        )
+        for name in heuristics
+    }
+    if trace is not None:
+        trace = coerce_fig9_trace(trace, seed=config.seed)
+        levels = [TRACE_LEVEL_LABEL]
+        spec = SweepSpec.from_traces(
+            pet=pet_spec,
+            heuristics=heuristic_specs,
+            traces={TRACE_LEVEL_LABEL: trace},
+            config=config,
+            machine_prices=prices,
+        )
+    else:
+        levels = list(dict.fromkeys(levels))
+        spec = SweepSpec.from_grid(
+            pet=pet_spec,
+            heuristics=heuristic_specs,
+            workloads={
+                level: transcoding_workload_for_level(level, config)
+                for level in levels
+            },
+            config=config,
+            machine_prices=prices,
+        )
     outcome = run_sweep(spec, jobs=jobs, cache_dir=cache_dir, progress=progress)
     result = Fig9Result()
     keys = [(level, name) for level in levels for name in heuristics]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.completion import completion_pmf
+from ..core.completion import DroppingPolicy, completion_pmf
 from ..core.pmf import DiscretePMF
 from ..core.robustness import success_probability
 from ..simulator.machine import Machine
@@ -107,7 +107,121 @@ class Pruner:
         drop immediately improves the success probability of the tasks behind
         the dropped one (Section IV) — exactly the cascading benefit the
         paper's model quantifies.
+
+        When the context carries the engine's live
+        :class:`~repro.simulator.state.SystemState` (and its chain settings
+        match the context's), the walk consumes the state's cached chain
+        prefix and per-task pruning metadata instead of re-convolving from
+        the queue head: an unchanged queue is examined without any
+        convolution, and only the suffix *behind the first actual drop* is
+        re-convolved.  Both paths are bit-identical
+        (``tests/pruning/test_state_backed_walk.py`` pins atol=0 equality).
         """
+        state = context.state
+        if (
+            state is not None
+            and context.policy is DroppingPolicy.EVICT
+            and state.policy is context.policy
+            and state.max_impulses == context.max_impulses
+            and state.condition_executing_on_now == context.condition_executing_on_now
+            and machine.index < len(state.machines)
+            and state.machines[machine.index] is machine
+        ):
+            return self._prune_machine_queue_state(machine, context)
+        return self._prune_machine_queue_rebuilding(machine, context)
+
+    def _prune_machine_queue_state(
+        self, machine: Machine, context: MappingContext
+    ) -> QueuePruneReport:
+        """State-backed walk: cached prefix, re-convolve past the first drop."""
+        report = QueuePruneReport(machine_index=machine.index)
+        tasks = machine.queued_tasks()
+        if not tasks:
+            report.availability = DiscretePMF.point(context.now)
+            return report
+        state = context.state
+        metas = state.prune_prefix_meta(machine.index, context.now)
+        chain = state.chain(machine.index, context.now)
+        if len(metas) != len(tasks) or len(chain) != len(tasks):
+            # The state's mirror disagrees with the queue (it never should);
+            # fall back to the self-contained walk rather than misprune.
+            return self._prune_machine_queue_rebuilding(machine, context)
+
+        first_drop: int | None = None
+        for position, task in enumerate(tasks):
+            prob, skew = metas[position]
+            threshold = self.thresholds.dropping_threshold_for_skewness(
+                skew,
+                queue_position=position,
+                sufferage=self._sufferage_of(task.task_type),
+            )
+            report.examined.append((task.task_id, prob, threshold))
+            if self.thresholds.should_drop(prob, threshold):
+                report.drops.append(QueueDrop(task.task_id, machine.index))
+                first_drop = position
+                break
+        if first_drop is None:
+            report.availability = chain[-1]
+            return report
+
+        # A task was dropped: everything behind it sees an improved chain,
+        # so from here the walk re-convolves exactly like the
+        # self-contained path.  The availability ahead of the suffix is the
+        # untouched chain prefix (or an immediately free machine when the
+        # head — executing or not — was dropped).
+        if first_drop == 0:
+            prev = DiscretePMF.point(context.now)
+        else:
+            prev = chain[first_drop - 1]
+        self._walk_suffix(
+            report,
+            machine,
+            context,
+            tasks,
+            start_position=first_drop + 1,
+            prev=prev,
+        )
+        return report
+
+    def _walk_suffix(
+        self,
+        report: QueuePruneReport,
+        machine: Machine,
+        context: MappingContext,
+        tasks: list,
+        *,
+        start_position: int,
+        prev: DiscretePMF,
+    ) -> None:
+        """The head-first dropping walk over ``tasks[start_position:]``.
+
+        ``prev`` is the availability PMF of the kept tasks ahead; the chain
+        is advanced task by task (Eqs. 2-5 + impulse aggregation) with
+        dropped tasks skipped — shared by the self-contained walk and the
+        post-first-drop suffix of the state-backed walk.
+        """
+        for position, task in enumerate(tasks[start_position:], start=start_position):
+            pet_entry = context.pet.get(task.task_type, machine.index)
+            prob = success_probability(pet_entry, prev, task.deadline, context.policy)
+            pct = completion_pmf(pet_entry, prev, task.deadline, context.policy)
+            threshold = self.thresholds.dropping_threshold_for(
+                pct,
+                queue_position=position,
+                sufferage=self._sufferage_of(task.task_type),
+            )
+            report.examined.append((task.task_id, prob, threshold))
+            if self.thresholds.should_drop(prob, threshold):
+                report.drops.append(QueueDrop(task.task_id, machine.index))
+                continue  # the chain skips the dropped task
+            prev = pct
+            if context.max_impulses is not None:
+                prev = prev.aggregate(context.max_impulses)
+        report.availability = prev
+
+    def _prune_machine_queue_rebuilding(
+        self, machine: Machine, context: MappingContext
+    ) -> QueuePruneReport:
+        """Self-contained walk re-convolving the chain from the queue head."""
         report = QueuePruneReport(machine_index=machine.index)
         tasks = machine.queued_tasks()
         if not tasks:
@@ -138,30 +252,18 @@ class Pruner:
             else:
                 prev = prev.collapse_tail_to(max(executing.deadline, context.now + 1))
             start_position = 1
-            remaining = tasks[1:]
         else:
             prev = DiscretePMF.point(context.now)
             start_position = 0
-            remaining = tasks
 
-        for position, task in enumerate(remaining, start=start_position):
-            pet_entry = context.pet.get(task.task_type, machine.index)
-            prob = success_probability(pet_entry, prev, task.deadline, context.policy)
-            pct = completion_pmf(pet_entry, prev, task.deadline, context.policy)
-            threshold = self.thresholds.dropping_threshold_for(
-                pct,
-                queue_position=position,
-                sufferage=self._sufferage_of(task.task_type),
-            )
-            report.examined.append((task.task_id, prob, threshold))
-            if self.thresholds.should_drop(prob, threshold):
-                report.drops.append(QueueDrop(task.task_id, machine.index))
-                continue  # the chain skips the dropped task
-            prev = pct
-            if context.max_impulses is not None:
-                prev = prev.aggregate(context.max_impulses)
-
-        report.availability = prev
+        self._walk_suffix(
+            report,
+            machine,
+            context,
+            tasks,
+            start_position=start_position,
+            prev=prev,
+        )
         return report
 
     def select_queue_drops(

@@ -113,6 +113,26 @@ class PruningThresholds:
             base, completion_pmf, queue_position, rho=self.rho
         )
 
+    def dropping_threshold_for_skewness(
+        self,
+        skewness: float,
+        queue_position: int = 0,
+        *,
+        sufferage: float = 0.0,
+    ) -> float:
+        """Effective dropping threshold from a precomputed bounded skewness.
+
+        Bit-identical to :meth:`dropping_threshold_for` fed the PMF whose
+        ``bounded_skewness()`` equals ``skewness`` — the state-backed
+        pruning walk caches the skewness alongside each chain entry so it
+        never has to materialise the pre-aggregation completion PMF again.
+        """
+        base = max(0.0, self.dropping - max(0.0, sufferage))
+        if not self.dynamic_per_task:
+            return float(min(1.0, base))
+        phi = skewness_position_adjustment(skewness, queue_position, rho=self.rho)
+        return float(min(1.0, max(0.0, base + phi)))
+
     def deferring_threshold_for(self, *, sufferage: float = 0.0) -> float:
         """Effective deferring threshold, relaxed by the PAMF sufferage value."""
         return float(min(1.0, max(0.0, self.deferring - max(0.0, sufferage))))

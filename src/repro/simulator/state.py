@@ -58,8 +58,10 @@ from ..core.completion import (
     DroppingPolicy,
     batched_completion_step,
     chain_step,
+    completion_pmf,
 )
 from ..core.pmf import DiscretePMF
+from ..core.robustness import success_probability
 from ..pet.matrix import PETMatrix
 from .machine import Machine
 from .task import Task
@@ -77,6 +79,7 @@ class _MachineChain:
     __slots__ = (
         "tasks",
         "chain",
+        "meta",
         "dirty_from",
         "head_executing",
         "anchor_now",
@@ -91,6 +94,13 @@ class _MachineChain:
         #: ``chain[k]`` is the availability PMF after ``tasks[k]``; entries
         #: past ``dirty_from`` are stale and recomputed lazily.
         self.chain: list[DiscretePMF] = []
+        #: Lazily filled pruning sidecar, parallel to ``chain``:
+        #: ``meta[k]`` is ``(success_probability, bounded_skewness)`` of
+        #: ``tasks[k]`` given the tasks ahead of it — the per-task inputs of
+        #: the pruner's no-drop dropping test.  Truncated wherever the chain
+        #: is, so entries are never stale; may be shorter than ``chain``
+        #: until the pruning path asks for it.
+        self.meta: list[tuple[float, float]] = []
         #: First chain index that needs recomputation (``len(tasks)`` = clean).
         self.dirty_from: int = 0
         #: Whether ``chain[0]`` was computed with ``tasks[0]`` executing.
@@ -194,6 +204,7 @@ class SystemState:
             # The whole chain was anchored on the departed head.
             del rec.tasks[0]
             rec.chain.clear()
+            rec.meta.clear()
             rec.dirty_from = 0
             rec.version = machine.queue_version
         else:
@@ -210,6 +221,7 @@ class SystemState:
         if rec.version == machine.queue_version - 1 and position is not None:
             del rec.tasks[position]
             del rec.chain[position:]
+            del rec.meta[position:]
             rec.dirty_from = min(rec.dirty_from, position)
             rec.version = machine.queue_version
         else:
@@ -303,6 +315,49 @@ class SystemState:
             )
         return prev
 
+    def prune_prefix_meta(
+        self, machine_index: int, now: int
+    ) -> tuple[tuple[float, float], ...]:
+        """Per-task pruning inputs down the machine's *current* (no-drop) queue.
+
+        ``result[k]`` is ``(success_probability, bounded_skewness)`` of the
+        ``k``-th queued task given every task ahead of it kept — exactly the
+        quantities :meth:`repro.pruning.pruner.Pruner.prune_machine_queue`
+        derives while walking the queue from the head.  The tuple is cached
+        alongside the availability chain and invalidated with the same
+        dirty-suffix discipline, so a queue untouched since the last mapping
+        event answers without a single convolution; the pruner only falls
+        back to re-convolving *behind* the first task it actually drops.
+
+        For an executing head the pair is computed from the task's raw
+        (uncollapsed) completion PMF — the pruner evaluates the executing
+        task on the chance it finishes by its deadline given it already
+        started, not on the evict-collapsed chain anchor.
+        """
+        now = int(now)
+        rec = self._sync(machine_index, now)
+        if self.cross_check:
+            self._verify(machine_index, now, rec)
+        machine = self.machines[machine_index]
+        tasks = rec.tasks
+        while len(rec.meta) < len(tasks):
+            k = len(rec.meta)
+            task = tasks[k]
+            if k == 0 and rec.head_executing:
+                raw = machine.executing_completion_pmf(
+                    self.pet, now, condition_on_now=self.condition_executing_on_now
+                )
+                prob = float(min(1.0, raw.cdf(task.deadline)))
+                skew = raw.bounded_skewness()
+            else:
+                prev = rec.chain[k - 1] if k else DiscretePMF.point(now)
+                pet_entry = self.pet.get(task.task_type, machine.index)
+                prob = success_probability(pet_entry, prev, task.deadline, self.policy)
+                pct = completion_pmf(pet_entry, prev, task.deadline, self.policy)
+                skew = pct.bounded_skewness()
+            rec.meta.append((prob, skew))
+        return tuple(rec.meta)
+
     # ------------------------------------------------------------------
     # Rebuild path (cross-check reference and cold start)
     # ------------------------------------------------------------------
@@ -323,6 +378,7 @@ class SystemState:
             rec = self._records[machine_index]
             rec.tasks = machine.queued_tasks()
             rec.chain = chain
+            rec.meta = []
             rec.dirty_from = len(rec.tasks)
             rec.head_executing = bool(rec.tasks) and rec.tasks[0] is machine.executing
             rec.anchor_now = now
@@ -387,6 +443,7 @@ class SystemState:
         """Defensive full resync after an un-notified queue mutation."""
         rec.tasks = machine.queued_tasks()
         rec.chain = []
+        rec.meta = []
         rec.dirty_from = 0
         rec.version = machine.queue_version
 
@@ -440,6 +497,7 @@ class SystemState:
         tasks = rec.tasks
         start = rec.dirty_from
         del rec.chain[start:]
+        del rec.meta[start:]
         if start == 0:
             head_executing = (
                 machine.executing is not None and tasks[0] is machine.executing

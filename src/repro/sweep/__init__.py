@@ -37,6 +37,7 @@ from .executor import (
     execute_trials,
     pet_for,
     run_sweep,
+    trace_for,
 )
 from .progress import PointReport, StreamReporter
 from .spec import (
@@ -45,6 +46,7 @@ from .spec import (
     PETSpec,
     SweepPoint,
     SweepSpec,
+    TraceSpec,
     cache_key,
     point_payload,
     spawn_trial_seeds,
@@ -63,6 +65,7 @@ __all__ = [
     "SweepOutcome",
     "SweepPoint",
     "SweepSpec",
+    "TraceSpec",
     "TrialMetrics",
     "cache_key",
     "execute_point",
@@ -72,4 +75,5 @@ __all__ = [
     "point_payload",
     "run_sweep",
     "spawn_trial_seeds",
+    "trace_for",
 ]

@@ -32,7 +32,13 @@ from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 from ..simulator.engine import SimulatorConfig
 from .cache import ResultCache
 from .progress import PointReport, ProgressCallback
-from .spec import PETSpec, SweepPoint, SweepSpec, spawn_trial_seeds
+from .spec import (
+    PETSpec,
+    SweepPoint,
+    SweepSpec,
+    spawn_trial_seeds,
+    trace_for,
+)
 from .trial import TrialMetrics, execute_trial
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -40,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..experiments.runner import SeriesResult
     from ..heuristics.base import MappingHeuristic
     from ..pet.matrix import PETMatrix
-    from ..workload.generator import WorkloadConfig
+    from ..workload.generator import WorkloadConfig, WorkloadTrace
 
 __all__ = [
     "SweepOutcome",
@@ -49,6 +55,7 @@ __all__ = [
     "execute_trials",
     "execute_point",
     "pet_for",
+    "trace_for",
 ]
 
 HeuristicFactory = Callable[[], "MappingHeuristic"]
@@ -74,16 +81,19 @@ def execute_trials(
     *,
     pet: "PETMatrix",
     heuristic_factory: HeuristicFactory,
-    workload: "WorkloadConfig",
+    workload: "WorkloadConfig | None",
     config: "ExperimentConfig",
     machine_prices: Sequence[float] | None = None,
     evict_executing_at_deadline: bool = True,
+    trace: "WorkloadTrace | None" = None,
 ) -> list[TrialMetrics]:
     """The serial trial loop shared with :func:`repro.experiments.runner.run_series`.
 
     Trial *k* derives its workload/execution streams from ``config.seed``
     via ``SeedSequence.spawn``, so different heuristics at the same data
     point see identical arrival traces (paired comparison, as in the paper).
+    A recorded ``trace`` replays identically in every trial; only the
+    execution stream varies.
     """
     sim_config = _sim_config_for(
         config, evict_executing_at_deadline=evict_executing_at_deadline
@@ -99,6 +109,7 @@ def execute_trials(
             machine_prices=machine_prices,
             warmup=config.warmup_tasks,
             cooldown=config.cooldown_tasks,
+            trace=trace,
         )
         for child in children
     ]
@@ -114,6 +125,7 @@ def execute_point(point: SweepPoint) -> list[TrialMetrics]:
         config=point.config,
         machine_prices=point.machine_prices,
         evict_executing_at_deadline=point.evict_executing_at_deadline,
+        trace=trace_for(point.trace) if point.trace is not None else None,
     )
 
 
@@ -138,6 +150,7 @@ def _execute_point_trial(point: SweepPoint, trial_index: int) -> TrialMetrics:
         machine_prices=point.machine_prices,
         warmup=point.config.warmup_tasks,
         cooldown=point.config.cooldown_tasks,
+        trace=trace_for(point.trace) if point.trace is not None else None,
     )
 
 

@@ -22,9 +22,12 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 from typing import TYPE_CHECKING, Iterator, Mapping
 
 import numpy as np
+
+from pathlib import Path
 
 from ..core.batch import KERNEL_VERSION
 from ..heuristics.registry import HEURISTIC_NAMES, make_heuristic
@@ -32,21 +35,26 @@ from ..pet.builders import build_spec_pet, build_transcoding_pet
 from ..pruning.oversubscription import OversubscriptionDetector
 from ..pruning.thresholds import PruningThresholds
 from ..workload.generator import WorkloadConfig
+from ..workload.traces import load_trace, trace_content_hash
+from ..workload.transcoding import TRACE_BUILDERS, build_named_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..experiments.config import ExperimentConfig
     from ..heuristics.base import MappingHeuristic
     from ..pet.matrix import PETMatrix
+    from ..workload.generator import WorkloadTrace
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "PETSpec",
     "HeuristicSpec",
+    "TraceSpec",
     "SweepPoint",
     "SweepSpec",
     "cache_key",
     "point_payload",
     "spawn_trial_seeds",
+    "trace_for",
 ]
 
 
@@ -156,22 +164,137 @@ class HeuristicSpec:
 
 
 @dataclass(frozen=True)
+class TraceSpec:
+    """Declarative handle for a recorded or named workload trace.
+
+    A sibling of :class:`PETSpec`: instead of carrying the trace (hundreds
+    of task records), a point names it either by **file** (a JSON trace
+    written by :func:`repro.workload.traces.save_trace` — e.g. the shipped
+    ``examples/transcoding_660.trace.json`` or a trace captured from a real
+    system) or by **builder** (a registered deterministic generator such as
+    ``"transcoding-660"`` plus its seed).  Workers resolve the handle
+    locally; the content address folds in the *canonical content hash* of
+    the resolved trace for files — editing the file invalidates cached
+    results, while reformatting it does not — and the (builder, seed,
+    num_tasks) triple for builders.
+
+    Replay semantics match the paper's paired-comparison protocol: every
+    trial of a trace-backed point replays the *identical* arrival trace;
+    only the execution-time sampling stream differs per trial.
+    """
+
+    path: str | None = None
+    builder: str | None = None
+    seed: int = 2019
+    num_tasks: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.path is None) == (self.builder is None):
+            raise ValueError("exactly one of path or builder is required")
+        if self.path is not None:
+            object.__setattr__(self, "path", str(self.path))
+        if self.builder is not None and self.builder not in TRACE_BUILDERS:
+            raise ValueError(
+                f"unknown trace builder {self.builder!r}; expected one of "
+                f"{sorted(TRACE_BUILDERS)}"
+            )
+        if self.num_tasks is not None and self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+
+    def resolve(self) -> "WorkloadTrace":
+        """Load (file) or build (named builder) the actual workload trace."""
+        if self.path is not None:
+            return load_trace(Path(self.path))
+        return build_named_trace(
+            self.builder, seed=self.seed, num_tasks=self.num_tasks
+        )
+
+    def fingerprint(self) -> dict[str, object]:
+        """Content identity folded into the sweep cache key.
+
+        For a file trace this is the canonical content hash of the resolved
+        payload (path-independent: moving or reformatting the file keeps
+        cached results valid; changing any task invalidates them).  The
+        hash is memoised per ``(path, mtime, size)`` — ``cache_key`` is
+        computed several times per point (cache lookup, store, artefact
+        payload), and re-reading the file each time would dominate replay
+        sweeps over large captured traces.
+        """
+        if self.path is not None:
+            stat = Path(self.path).stat()
+            return {
+                "trace_sha256": _file_trace_hash(
+                    self.path, stat.st_mtime_ns, stat.st_size
+                )
+            }
+        return {
+            "builder": self.builder,
+            "seed": self.seed,
+            "num_tasks": self.num_tasks,
+        }
+
+
+def trace_for(spec: TraceSpec) -> "WorkloadTrace":
+    """Per-process memo of resolved workload traces.
+
+    A point's trials all replay the same trace, every heuristic at the
+    same trace shares it, and the content-hash fingerprint is computed
+    over the same parsed object — so each file is read and validated once
+    per process.  File-backed specs are memoised per ``(path, mtime,
+    size)``, so editing a trace file in place serves the new content
+    rather than a stale cached object (which would otherwise be stored
+    under the *new* content hash, poisoning the result cache).
+    """
+    if spec.path is not None:
+        stat = Path(spec.path).stat()
+        return _trace_for_file(spec.path, stat.st_mtime_ns, stat.st_size)
+    return _trace_for_builder(spec)
+
+
+@lru_cache(maxsize=16)
+def _trace_for_file(path: str, mtime_ns: int, size: int) -> "WorkloadTrace":
+    return load_trace(Path(path))
+
+
+@lru_cache(maxsize=16)
+def _trace_for_builder(spec: TraceSpec) -> "WorkloadTrace":
+    return spec.resolve()
+
+
+@lru_cache(maxsize=64)
+def _file_trace_hash(path: str, mtime_ns: int, size: int) -> str:
+    """Canonical content hash of a trace file, memoised per file version.
+
+    Shares the parsed trace with :func:`trace_for` (same memo key), so
+    hashing never re-reads a file the resolver already loaded.
+    """
+    return trace_content_hash(_trace_for_file(path, mtime_ns, size))
+
+
+@dataclass(frozen=True)
 class SweepPoint:
     """One data point of a sweep: everything needed to run its trials.
 
     ``label`` is presentation-only and deliberately excluded from the content
     address, so relabelling a grid never invalidates cached results.
+
+    The workload is either synthesised per trial from ``workload`` or
+    replayed from ``trace`` (exactly one must be set); a trace-backed point
+    feeds the identical arrival trace to every trial and heuristic.
     """
 
     label: str
     pet: PETSpec
     heuristic: HeuristicSpec
-    workload: WorkloadConfig
+    workload: WorkloadConfig | None
     config: "ExperimentConfig"
     machine_prices: tuple[float, ...] | None = None
     evict_executing_at_deadline: bool = True
+    trace: TraceSpec | None = None
 
     def __post_init__(self) -> None:
+        if (self.workload is None) == (self.trace is None):
+            raise ValueError("exactly one of workload or trace is required")
         if self.machine_prices is not None:
             object.__setattr__(
                 self, "machine_prices", tuple(float(p) for p in self.machine_prices)
@@ -187,19 +310,26 @@ class SweepPoint:
 
 
 def point_payload(point: SweepPoint) -> dict[str, object]:
-    """Canonical JSON-able description of a point's *content* (no label)."""
-    return {
+    """Canonical JSON-able description of a point's *content* (no label).
+
+    The ``trace`` key only appears for trace-backed points so that every
+    pre-existing synthetic-workload cache key is unchanged.
+    """
+    payload: dict[str, object] = {
         "schema": CACHE_SCHEMA_VERSION,
         "engine": KERNEL_VERSION,
         "pet": asdict(point.pet),
         "heuristic": asdict(point.heuristic),
-        "workload": asdict(point.workload),
+        "workload": asdict(point.workload) if point.workload is not None else None,
         "config": asdict(point.config),
         "machine_prices": list(point.machine_prices)
         if point.machine_prices is not None
         else None,
         "evict_executing_at_deadline": point.evict_executing_at_deadline,
     }
+    if point.trace is not None:
+        payload["trace"] = point.trace.fingerprint()
+    return payload
 
 
 def cache_key(point: SweepPoint) -> str:
@@ -262,6 +392,40 @@ class SweepSpec:
                 evict_executing_at_deadline=evict_executing_at_deadline,
             )
             for wl_label, workload in workloads.items()
+            for h_label, heuristic in heuristics.items()
+        )
+        return cls(points=points)
+
+    @classmethod
+    def from_traces(
+        cls,
+        *,
+        pet: PETSpec,
+        heuristics: Mapping[str, HeuristicSpec],
+        traces: Mapping[str, "TraceSpec"],
+        config: "ExperimentConfig",
+        machine_prices: tuple[float, ...] | None = None,
+        evict_executing_at_deadline: bool = True,
+        label_format: str = "{trace},{heuristic}",
+    ) -> "SweepSpec":
+        """Cross product of recorded traces x heuristics (trace-major order).
+
+        The trace-backed sibling of :meth:`from_grid`: every heuristic
+        replays the identical recorded arrival trace (the paper's paired
+        replay protocol), and results flow through the same cache.
+        """
+        points = tuple(
+            SweepPoint(
+                label=label_format.format(trace=tr_label, heuristic=h_label),
+                pet=pet,
+                heuristic=heuristic,
+                workload=None,
+                config=config,
+                machine_prices=machine_prices,
+                evict_executing_at_deadline=evict_executing_at_deadline,
+                trace=trace,
+            )
+            for tr_label, trace in traces.items()
             for h_label, heuristic in heuristics.items()
         )
         return cls(points=points)

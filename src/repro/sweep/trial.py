@@ -22,7 +22,7 @@ import numpy as np
 
 from ..simulator.engine import SimulatorConfig, simulate
 from ..simulator.metrics import SimulationResult
-from ..workload.generator import WorkloadConfig, generate_workload
+from ..workload.generator import WorkloadConfig, WorkloadTrace, generate_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..heuristics.base import MappingHeuristic
@@ -84,21 +84,41 @@ def execute_trial(
     *,
     pet: "PETMatrix",
     heuristic: "MappingHeuristic",
-    workload: WorkloadConfig,
+    workload: WorkloadConfig | None,
     trial_seed: np.random.SeedSequence,
     sim_config: SimulatorConfig,
     machine_prices: Sequence[float] | None = None,
     warmup: int,
     cooldown: int,
+    trace: WorkloadTrace | None = None,
 ) -> TrialMetrics:
     """Run one workload trial and distil it into :class:`TrialMetrics`.
 
     ``trial_seed`` is the trial's child of the point's master
     :class:`~numpy.random.SeedSequence`; its own two children seed the
     workload and execution streams, exactly as the serial runner always did.
+
+    When ``trace`` is given (trace replay) the recorded trace is fed to the
+    simulator unchanged for *every* trial; the workload stream is still
+    spawned — keeping the execution stream bit-identical whether a trace
+    was replayed or synthesised — but never drawn from.
     """
     workload_seed, execution_seed = trial_seed.spawn(2)
-    trace = generate_workload(workload, pet, rng=np.random.default_rng(workload_seed))
+    if trace is None:
+        if workload is None:
+            raise ValueError("either a workload config or a trace is required")
+        trace = generate_workload(
+            workload, pet, rng=np.random.default_rng(workload_seed)
+        )
+    elif trace.num_task_types > pet.num_task_types:
+        # Fail before the simulator dereferences an out-of-range PET row —
+        # this is where a replayed trace and the PET first meet, so every
+        # entry point (driver, CLI, programmatic SweepSpec.from_traces)
+        # inherits the check.
+        raise ValueError(
+            f"trace uses {trace.num_task_types} task types but the PET "
+            f"only has {pet.num_task_types}"
+        )
     result = simulate(
         pet,
         heuristic,

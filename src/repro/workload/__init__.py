@@ -8,7 +8,21 @@ from .arrivals import (
 from .deadlines import DeadlineModel, deadline_for
 from .generator import WorkloadConfig, WorkloadTrace, generate_workload
 from .spec import TaskSpec
-from .traces import load_trace, save_trace, trace_from_dict, trace_to_dict
+from .traces import (
+    file_content_hash,
+    load_trace,
+    save_trace,
+    trace_content_hash,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .transcoding import (
+    TRACE_BUILDERS,
+    TranscodingTraceConfig,
+    build_named_trace,
+    generate_transcoding_trace,
+    reference_transcoding_trace,
+)
 
 __all__ = [
     "TaskSpec",
@@ -24,4 +38,11 @@ __all__ = [
     "load_trace",
     "trace_to_dict",
     "trace_from_dict",
+    "trace_content_hash",
+    "file_content_hash",
+    "TRACE_BUILDERS",
+    "TranscodingTraceConfig",
+    "build_named_trace",
+    "generate_transcoding_trace",
+    "reference_transcoding_trace",
 ]

@@ -1,0 +1,247 @@
+"""Synthetic EC2 video-transcoding workload (paper Section VII-G, Figure 9).
+
+The paper's headline real-world result replays a recorded trace of 660 live
+video segments transcoded on four heterogeneous EC2 VM types.  The raw trace
+is not available offline, so this module synthesises a workload with the
+same *shape* and ships a seeded reference instance
+(``examples/transcoding_660.trace.json``) that flows through the sweep/cache
+pipeline exactly like a recorded file would:
+
+* **per-codec task types** — the four transcoding operations of the
+  4x4 transcoding PET, drawn with a non-uniform mix (resolution and
+  bit-rate changes dominate a live-streaming workload, codec changes are
+  rarer);
+* **burst arrivals** — segments of one video arrive together: burst epochs
+  follow a high-variance gamma renewal process and each burst carries a
+  geometrically distributed number of segments spread over a few time
+  units;
+* **heavy-tailed durations** — video lengths are heavy tailed, which shows
+  up in the trace as a log-normal per-task scale on the deadline slack
+  (long videos tolerate proportionally longer transcoding).
+
+Execution times themselves always come from the PET matrix at simulation
+time; a trace only records arrivals, types and deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..pet.builders import build_transcoding_pet
+from ..pet.matrix import PETMatrix
+from ..utils.rng import make_generator
+from .arrivals import gamma_interarrival_times
+from .generator import WorkloadConfig, WorkloadTrace
+from .spec import TaskSpec
+
+__all__ = [
+    "TranscodingTraceConfig",
+    "generate_transcoding_trace",
+    "reference_transcoding_trace",
+    "TRACE_BUILDERS",
+    "build_named_trace",
+    "REFERENCE_TRACE_TASKS",
+]
+
+#: Task count of the paper's recorded EC2 workload (660 video segments).
+REFERENCE_TRACE_TASKS = 660
+
+#: Seed of the shipped reference trace (matches the experiments' master seed).
+REFERENCE_TRACE_SEED = 2019
+
+
+@dataclass(frozen=True)
+class TranscodingTraceConfig:
+    """Shape parameters of the synthetic transcoding workload.
+
+    Attributes
+    ----------
+    num_tasks:
+        Total number of transcoding tasks (segments) in the trace.
+    time_span:
+        Length of the arrival window in time units.
+    beta:
+        Baseline deadline slack coefficient (Section VI-B formula).
+    mean_burst_size:
+        Mean number of segments arriving together in one burst
+        (geometrically distributed per burst).
+    burst_spread:
+        Maximum intra-burst arrival jitter in time units; segments of one
+        burst land within ``[epoch, epoch + burst_spread]``.
+    burst_variance_fraction:
+        Variance of the gamma inter-burst gaps as a fraction of the mean;
+        values well above 1 clump the bursts themselves (doubly bursty).
+    duration_sigma:
+        Sigma of the log-normal per-task deadline-slack scale (mean 1);
+        larger values mean heavier tails.
+    type_weights:
+        Sampling weights of the four transcoding operations, in PET task
+        type order (resolution, codec, bit rate, frame rate).
+    """
+
+    num_tasks: int = REFERENCE_TRACE_TASKS
+    #: Arrival window sized so the 660 tasks offer ~1.7x the 4-VM system's
+    #: capacity — the oversubscription regime of Figure 9's upper levels.
+    time_span: int = 10000
+    beta: float = 1.5
+    mean_burst_size: float = 4.0
+    burst_spread: int = 3
+    burst_variance_fraction: float = 2.0
+    duration_sigma: float = 0.6
+    type_weights: tuple[float, ...] = (0.35, 0.15, 0.30, 0.20)
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if self.time_span <= 0:
+            raise ValueError("time_span must be positive")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+        if self.mean_burst_size < 1:
+            raise ValueError("mean_burst_size must be at least one")
+        if self.burst_spread < 0:
+            raise ValueError("burst_spread must be non-negative")
+        if self.burst_variance_fraction <= 0:
+            raise ValueError("burst_variance_fraction must be positive")
+        if self.duration_sigma < 0:
+            raise ValueError("duration_sigma must be non-negative")
+        if len(self.type_weights) == 0 or any(w < 0 for w in self.type_weights):
+            raise ValueError("type_weights must be non-negative")
+        if sum(self.type_weights) <= 0:
+            raise ValueError("type_weights must have positive total weight")
+
+
+def generate_transcoding_trace(
+    config: TranscodingTraceConfig | None = None,
+    *,
+    rng: np.random.Generator | int | None = None,
+    pet: PETMatrix | None = None,
+) -> WorkloadTrace:
+    """Synthesise one transcoding workload trace with the paper's shape.
+
+    Parameters
+    ----------
+    config:
+        Shape parameters (defaults reproduce the 660-task reference shape).
+    rng:
+        Seed or Generator; the trace is fully determined by it.
+    pet:
+        Transcoding PET supplying the per-type mean execution times the
+        deadline slack is based on; defaults to the seeded 4x4 transcoding
+        PET the Figure 9 driver uses.
+    """
+    config = config or TranscodingTraceConfig()
+    rng = make_generator(rng)
+    pet = pet if pet is not None else build_transcoding_pet(rng=REFERENCE_TRACE_SEED)
+    if len(config.type_weights) != pet.num_task_types:
+        raise ValueError(
+            f"{len(config.type_weights)} type weights for {pet.num_task_types} "
+            "PET task types"
+        )
+
+    weights = np.asarray(config.type_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    avg_all = pet.overall_mean()
+    avg_types = [pet.task_type_mean(t) for t in range(pet.num_task_types)]
+
+    # Burst epochs: gamma renewal with variance well above the mean, so the
+    # epochs themselves clump.  Enough bursts are drawn to cover num_tasks.
+    n_bursts = max(1, int(np.ceil(config.num_tasks / config.mean_burst_size)))
+    mean_gap = config.time_span / n_bursts
+    gaps = gamma_interarrival_times(
+        n_bursts,
+        mean_gap,
+        rng=rng,
+        variance_fraction=config.burst_variance_fraction,
+    )
+    epochs = np.maximum(np.rint(np.cumsum(gaps)).astype(np.int64), 1)
+    epochs = np.maximum.accumulate(epochs)
+
+    # Per-burst segment counts: geometric with the configured mean (>= 1).
+    success = 1.0 / config.mean_burst_size
+    sizes = rng.geometric(success, size=n_bursts)
+
+    records: list[tuple[int, int, int]] = []  # (arrival, task_type, deadline)
+    for epoch, size in zip(epochs, sizes):
+        for _ in range(int(size)):
+            if len(records) == config.num_tasks:
+                break
+            jitter = int(rng.integers(0, config.burst_spread + 1))
+            arrival = int(epoch) + jitter
+            task_type = int(rng.choice(len(weights), p=weights))
+            # Heavy-tailed video length: log-normal scale with mean one
+            # applied to the Section VI-B slack term.
+            if config.duration_sigma > 0:
+                scale = float(
+                    rng.lognormal(
+                        -0.5 * config.duration_sigma**2, config.duration_sigma
+                    )
+                )
+            else:
+                scale = 1.0
+            slack = avg_types[task_type] + config.beta * avg_all
+            deadline = arrival + max(1, int(round(scale * slack)))
+            records.append((arrival, task_type, deadline))
+        if len(records) == config.num_tasks:
+            break
+    while len(records) < config.num_tasks:
+        # Degenerate parameterisations (tiny bursts) top up at the tail.
+        arrival = int(epochs[-1]) + len(records)
+        task_type = int(rng.choice(len(weights), p=weights))
+        slack = avg_types[task_type] + config.beta * avg_all
+        records.append((arrival, task_type, arrival + max(1, int(round(slack)))))
+
+    records.sort()
+    specs = tuple(
+        TaskSpec(
+            arrival=arrival,
+            task_id=task_id,
+            task_type=task_type,
+            deadline=deadline,
+        )
+        for task_id, (arrival, task_type, deadline) in enumerate(records)
+    )
+    workload = WorkloadConfig(
+        num_tasks=config.num_tasks, time_span=config.time_span, beta=config.beta
+    )
+    return WorkloadTrace(specs, workload, num_task_types=pet.num_task_types)
+
+
+def reference_transcoding_trace(
+    *, seed: int = REFERENCE_TRACE_SEED, num_tasks: int | None = None
+) -> WorkloadTrace:
+    """The seeded 660-task reference trace shipped under ``examples/``.
+
+    ``scripts/make_reference_trace.py`` regenerates the committed file from
+    this builder; a different ``seed`` or ``num_tasks`` yields a fresh trace
+    of the same shape.
+    """
+    config = TranscodingTraceConfig(
+        num_tasks=REFERENCE_TRACE_TASKS if num_tasks is None else int(num_tasks)
+    )
+    return generate_transcoding_trace(config, rng=seed)
+
+
+#: Named trace builders resolvable by :class:`repro.sweep.spec.TraceSpec`.
+#: Each maps ``(seed, num_tasks)`` to a deterministic :class:`WorkloadTrace`.
+TRACE_BUILDERS: Mapping[str, Callable[[int, int | None], WorkloadTrace]] = {
+    "transcoding-660": lambda seed, num_tasks: reference_transcoding_trace(
+        seed=seed, num_tasks=num_tasks
+    ),
+}
+
+
+def build_named_trace(
+    name: str, *, seed: int = REFERENCE_TRACE_SEED, num_tasks: int | None = None
+) -> WorkloadTrace:
+    """Resolve a registered trace builder by name."""
+    try:
+        builder = TRACE_BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown trace builder {name!r}; expected one of {sorted(TRACE_BUILDERS)}"
+        ) from exc
+    return builder(seed, num_tasks)

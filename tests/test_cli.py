@@ -171,3 +171,156 @@ class TestSweepCommand:
         captured = capsys.readouterr()
         assert "Figure 9" in captured.out
         assert captured.err == ""
+
+
+class TestTraceCommand:
+    def test_record_inspect_replay_round_trip(self, tmp_path, capsys):
+        trace_file = tmp_path / "recorded.trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--builder",
+                    "transcoding-660",
+                    "--tasks",
+                    "40",
+                    "--seed",
+                    "7",
+                    "--out",
+                    str(trace_file),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert trace_file.exists()
+        assert "tasks              : 40" in captured
+        assert "content sha256" in captured
+
+        assert main(["trace", "inspect", str(trace_file)]) == 0
+        captured = capsys.readouterr().out
+        assert "tasks              : 40" in captured
+
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "trace",
+            "replay",
+            str(trace_file),
+            "--heuristics",
+            "PAMF",
+            "MM",
+            "--trials",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr().out
+        assert "replay,PAMF" in captured
+        assert "replay,MM" in captured
+
+        # Warm rerun executes nothing.
+        assert main(argv) == 0
+        captured = capsys.readouterr().out
+        assert "0 trials executed" in captured
+
+    def test_record_synthetic_workload(self, tmp_path, capsys):
+        trace_file = tmp_path / "synthetic.trace.json"
+        argv = [
+            "trace",
+            "record",
+            "--workload",
+            "transcoding",
+            "--tasks",
+            "30",
+            "--span",
+            "400",
+            "--out",
+            str(trace_file),
+        ]
+        assert main(argv) == 0
+        assert trace_file.exists()
+        assert "synthetic" in capsys.readouterr().out
+
+    def test_sweep9_accepts_trace_file(self, tmp_path, capsys):
+        trace_file = tmp_path / "small.trace.json"
+        main(
+            [
+                "trace",
+                "record",
+                "--builder",
+                "transcoding-660",
+                "--tasks",
+                "40",
+                "--out",
+                str(trace_file),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "sweep",
+                    "9",
+                    "--trials",
+                    "1",
+                    "--trace",
+                    str(trace_file),
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert "replay" in captured
+
+    def test_trace_rejected_for_other_figures(self, tmp_path):
+        with pytest.raises(SystemExit, match="only applies to figure 9"):
+            main(["figure", "4", "--trace", "whatever.json", "--trials", "1"])
+
+    def test_replay_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace file not found"):
+            main(["trace", "replay", str(tmp_path / "nope.json"), "--trials", "1"])
+
+    def test_sweep9_missing_trace_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace file not found"):
+            main(["sweep", "9", "--trace", str(tmp_path / "nope.json"), "--trials", "1"])
+
+    def test_record_builder_rejects_span_and_beta(self, tmp_path):
+        with pytest.raises(SystemExit, match="only apply to synthetic"):
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--builder",
+                    "transcoding-660",
+                    "--span",
+                    "500",
+                    "--out",
+                    str(tmp_path / "t.json"),
+                ]
+            )
+
+    def test_inspect_corrupt_file_names_task(self, tmp_path):
+        trace_file = tmp_path / "bad.trace.json"
+        main(
+            [
+                "trace",
+                "record",
+                "--builder",
+                "transcoding-660",
+                "--tasks",
+                "5",
+                "--out",
+                str(trace_file),
+            ]
+        )
+        payload = json.loads(trace_file.read_text())
+        del payload["tasks"][2]["deadline"]
+        trace_file.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="task 2: missing field 'deadline'"):
+            main(["trace", "inspect", str(trace_file)])
