@@ -1,0 +1,81 @@
+"""Benchmark of the durable work queue's claim/complete hot path.
+
+The queue's per-trial overhead (one claim + one complete, each a short
+SQLite transaction) must stay negligible next to a simulated trial, which
+takes hundreds of milliseconds to seconds at paper scale.  The gate pins
+the full enqueue→claim→complete round trip well under typical trial cost,
+so queue-backed sweeps are never bottlenecked on the queue itself.
+
+Run with ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.sweep import HeuristicSpec, PETSpec, SweepPoint, TrialMetrics, WorkQueue
+from repro.workload.generator import WorkloadConfig
+
+#: Trials pushed through the queue per benchmark round.
+N_TASKS = 64
+
+#: Floor on queue round trips per second (enqueue + claim + complete).  A
+#: local SSD does thousands; the gate is far below that to stay robust on
+#: slow CI filesystems while still catching a pathological regression
+#: (e.g. an accidental table scan or per-operation fsync storm).
+MIN_ROUND_TRIPS_PER_SECOND = 25.0
+
+
+def _point(trials: int) -> SweepPoint:
+    return SweepPoint(
+        label="bench",
+        pet=PETSpec(kind="spec", seed=11),
+        heuristic=HeuristicSpec(name="MM"),
+        workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+        config=ExperimentConfig(trials=trials, seed=11),
+    )
+
+
+def _metrics() -> TrialMetrics:
+    return TrialMetrics(
+        robustness_percent=50.0,
+        fairness_variance=1.0,
+        total_cost=2.0,
+        cost_per_percent_on_time=0.04,
+        completed_on_time=10,
+        total_tasks=40,
+        per_type_completion_percent=(50.0,),
+    )
+
+
+def test_bench_queue_round_trip(benchmark, tmp_path):
+    point = _point(N_TASKS)
+    metrics = _metrics()
+    rounds = [0]
+
+    def round_trip() -> int:
+        queue = WorkQueue(tmp_path / f"queue-{rounds[0]}")
+        rounds[0] += 1
+        keys = queue.enqueue_point(point)
+        done = 0
+        while True:
+            claimed = queue.claim("bench-worker")
+            if claimed is None:
+                break
+            queue.complete(claimed.task_key, "bench-worker", metrics)
+            done += 1
+        assert len(queue.results(keys)) == N_TASKS
+        return done
+
+    started = time.perf_counter()
+    done = benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    seconds = time.perf_counter() - started
+    assert done == N_TASKS
+
+    per_second = N_TASKS / seconds
+    benchmark.extra_info["round_trips_per_second"] = round(per_second, 1)
+    assert per_second >= MIN_ROUND_TRIPS_PER_SECOND, (
+        f"queue managed only {per_second:.1f} claim/complete round trips per "
+        f"second (gate {MIN_ROUND_TRIPS_PER_SECOND})"
+    )

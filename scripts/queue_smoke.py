@@ -1,0 +1,74 @@
+"""CI smoke test for the queue execution backend.
+
+Runs a small Figure-4 sweep twice — once serially (``jobs=1``) and once
+through :class:`~repro.sweep.backends.QueueBackend` with two detached
+``repro worker`` processes — and asserts the results are bit-identical
+(atol=0) with identical sweep cache keys.  This is the end-to-end proof
+that distributing trials over a durable shared queue changes nothing but
+wall-clock time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/queue_smoke.py [--workers N] [--trials N]
+
+Exit status 1 (with a diff summary) on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.fig4_lambda import run_fig4  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2, help="detached workers to spawn")
+    parser.add_argument("--trials", type=int, default=1, help="trials per sweep point")
+    parser.add_argument("--seed", type=int, default=29)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        trials=args.trials, seed=args.seed, warmup_tasks=5, cooldown_tasks=5, task_scale=0.1
+    )
+    lambdas = (0.5, 0.9)
+
+    print(f"serial run: fig4 lambdas={lambdas}, trials={args.trials}")
+    serial = run_fig4(config, lambdas=lambdas)
+
+    with tempfile.TemporaryDirectory(prefix="queue-smoke-") as scratch:
+        queue_dir = Path(scratch) / "queue"
+        print(f"queue run: {args.workers} detached workers sharing {queue_dir}")
+        queued = run_fig4(
+            config,
+            lambdas=lambdas,
+            backend="queue",
+            queue_dir=queue_dir,
+            queue_workers=args.workers,
+        )
+
+    mismatches = []
+    for key, series in serial.series.items():
+        if queued.series[key].trials != series.trials:
+            mismatches.append(key)
+    if mismatches:
+        print(f"MISMATCH at {len(mismatches)} point(s): {mismatches}", file=sys.stderr)
+        return 1
+    for key in sorted(serial.series):
+        lam, mode = key
+        print(
+            f"  lambda={lam:.1f} {mode:<8} robustness "
+            f"{serial.series[key].mean_robustness():6.2f}%  (bit-identical)"
+        )
+    print(f"OK: {len(serial.series)} points bit-identical across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 ``simulate``
     Run one workload trial with a chosen heuristic and print the headline
@@ -13,9 +13,10 @@ Four subcommands cover the common workflows:
 ``sweep``
     Regenerate one or more figures through the :mod:`repro.sweep`
     orchestration subsystem: trials fan out over ``--jobs`` worker
-    processes, per-point progress streams to stderr, and completed points
-    are cached under ``--cache-dir`` so interrupted or repeated sweeps
-    resume instantly.
+    processes (or, with ``--backend queue``, over detached ``repro
+    worker`` processes sharing ``--queue-dir``), per-point progress
+    streams to stderr, and completed points are cached under
+    ``--cache-dir`` so interrupted or repeated sweeps resume instantly.
 
 ``trace``
     Work with recorded workload traces: ``record`` synthesises a trace to
@@ -24,6 +25,21 @@ Four subcommands cover the common workflows:
     heuristic replays the identical arrivals — the paper's paired
     protocol).
 
+``worker``
+    Run one detached sweep worker: claim trials from the durable queue at
+    ``--queue-dir``, execute, repeat.  Start any number, on any hosts
+    sharing the queue directory; results are bit-identical regardless of
+    which worker runs which trial.
+
+``queue``
+    Observe and maintain a work queue: ``status`` (counts per state plus
+    worker heartbeats), ``requeue`` (recover expired leases, optionally
+    revive dead-lettered trials), ``drain`` (delete rows).
+
+``cache``
+    Observe and maintain a result cache: ``stats`` (entries, bytes, kernel
+    versions) and ``gc`` (drop artefacts from stale kernel versions).
+
 Examples::
 
     python -m repro.cli simulate --heuristic PAM --tasks 500 --span 2500
@@ -31,6 +47,10 @@ Examples::
     python -m repro.cli figure 9 --trials 3 --output-dir results/
     python -m repro.cli sweep 4 7 --jobs 4 --cache-dir results/cache
     python -m repro.cli sweep 9 --trace examples/transcoding_660.trace.json
+    python -m repro.cli sweep 4 --backend queue --queue-dir results/queue --jobs 2
+    python -m repro.cli worker --queue-dir results/queue
+    python -m repro.cli queue status --queue-dir results/queue
+    python -m repro.cli cache stats --cache-dir results/cache
     python -m repro.cli trace record --builder transcoding-660 --out my.trace.json
     python -m repro.cli trace inspect examples/transcoding_660.trace.json
     python -m repro.cli trace replay examples/transcoding_660.trace.json \
@@ -62,7 +82,7 @@ from .experiments import (
 )
 from .experiments.reporting import save_figure_result
 from .heuristics.registry import HEURISTIC_NAMES
-from .sweep import StreamReporter
+from .sweep import BACKEND_NAMES, StreamReporter
 from .workload import (
     TRACE_BUILDERS,
     build_named_trace,
@@ -89,6 +109,20 @@ def _positive_int(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
     return jobs
+
+
+def _non_negative_int(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return count
+
+
+def _positive_float(value: str) -> float:
+    seconds = float(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return seconds
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +166,83 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress on stderr"
     )
+
+    worker = subparsers.add_parser(
+        "worker", help="run one detached sweep worker against a shared work queue"
+    )
+    worker.add_argument("--queue-dir", required=True, help="work-queue directory")
+    worker.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.5,
+        help="seconds to sleep when the queue has nothing claimable",
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=_positive_float,
+        default=60.0,
+        help="claim lease length; renewed automatically while a trial runs",
+    )
+    worker.add_argument(
+        "--max-tasks", type=_positive_int, default=None, help="exit after this many trials"
+    )
+    worker.add_argument(
+        "--exit-when-empty",
+        action="store_true",
+        help="exit once no trial is pending or leased (instead of polling forever)",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=_positive_float,
+        default=None,
+        help="exit after this many seconds without a successful claim",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial log lines on stderr"
+    )
+
+    queue = subparsers.add_parser(
+        "queue", help="observe or maintain a shared work queue"
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    queue_status = queue_sub.add_parser(
+        "status", help="counts per state plus worker heartbeats"
+    )
+    queue_requeue = queue_sub.add_parser(
+        "requeue", help="recover expired leases back to pending"
+    )
+    queue_requeue.add_argument(
+        "--dead",
+        action="store_true",
+        help="also revive dead-lettered trials with a fresh attempt budget",
+    )
+    queue_drain = queue_sub.add_parser("drain", help="delete queue rows")
+    queue_drain.add_argument(
+        "--done-only", action="store_true", help="only delete completed rows"
+    )
+    for sub in (queue_status, queue_requeue, queue_drain):
+        sub.add_argument("--queue-dir", required=True, help="work-queue directory")
+
+    cache = subparsers.add_parser(
+        "cache", help="observe or maintain a content-addressed result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entries, bytes, and kernel-version breakdown"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="drop artefacts from stale kernel versions"
+    )
+    cache_gc.add_argument(
+        "--kernel-version",
+        default=None,
+        help="kernel version to KEEP (default: the current repro.core.batch.KERNEL_VERSION)",
+    )
+    cache_gc.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed, remove nothing"
+    )
+    for sub in (cache_stats, cache_gc):
+        sub.add_argument("--cache-dir", required=True, help="result-cache root directory")
 
     trace = subparsers.add_parser("trace", help="record, inspect, or replay workload traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -190,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=2019)
     replay.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
     replay.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
+    _add_backend_arguments(replay)
     replay.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress on stderr"
     )
@@ -205,12 +317,36 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
     parser.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     parser.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
+    _add_backend_arguments(parser)
     parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
         help="replay this recorded trace file instead of synthesising workloads "
         "(figure 9 only; e.g. examples/transcoding_660.trace.json)",
+    )
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend selection shared by figure/sweep/replay commands."""
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="process",
+        help="where trials execute: in-process, a local process pool, or a "
+        "durable work queue drained by detached 'repro worker' processes",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help="work-queue directory (required for --backend queue)",
+    )
+    parser.add_argument(
+        "--queue-workers",
+        type=_non_negative_int,
+        default=None,
+        help="workers to spawn for --backend queue (default: --jobs; "
+        "0 = rely on detached workers you started yourself)",
     )
 
 
@@ -269,8 +405,17 @@ def _run_figure(
             raise SystemExit(f"trace file not found: {args.trace}") from exc
         except ValueError as exc:
             raise SystemExit(str(exc)) from exc
+    if args.backend == "queue" and args.queue_dir is None:
+        raise SystemExit("--backend queue requires --queue-dir")
     result = driver(
-        config, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress, **extra
+        config,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        queue_workers=args.queue_workers,
+        **extra,
     )
     print(result.to_text())
     if args.output_dir is not None:
@@ -391,9 +536,17 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
         config=config,
         machine_prices=tuple(default_prices_for(pet.machine_names)),
     )
+    if args.backend == "queue" and args.queue_dir is None:
+        raise SystemExit("--backend queue requires --queue-dir")
     progress = None if args.quiet else StreamReporter()
     outcome = run_sweep(
-        spec, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        queue_workers=args.queue_workers,
     )
     rows = []
     for series in outcome.series():
@@ -407,6 +560,91 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
             f"{outcome.executed_trials} trials executed"
         )
     return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .sweep import run_worker
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    executed = run_worker(
+        args.queue_dir,
+        poll_interval=args.poll_interval,
+        lease_seconds=args.lease_seconds,
+        max_tasks=args.max_tasks,
+        exit_when_empty=args.exit_when_empty,
+        idle_timeout=args.idle_timeout,
+        log=None if args.quiet else log,
+    )
+    print(f"executed {executed} trial(s)")
+    return 0
+
+
+def _command_queue(args: argparse.Namespace) -> int:
+    from .sweep import WorkQueue, format_heartbeat
+    from .utils.tables import format_table
+
+    queue = WorkQueue(args.queue_dir)
+    if args.queue_command == "status":
+        status = queue.status()
+        rows = [
+            ["pending", status.pending],
+            ["leased", status.leased],
+            ["done", status.done],
+            ["dead", status.dead],
+            ["total", status.total],
+        ]
+        print(format_table(["state", "trials"], rows))
+        print(format_heartbeat(status))
+        dead_rows = [t for t in queue.tasks() if t.status == "dead"]
+        for row in dead_rows[:5]:
+            detail = (row.error or "no error recorded").strip().splitlines()[-1]
+            print(f"dead: {row.label!r} trial {row.trial_index} — {detail}")
+        if len(dead_rows) > 5:
+            print(f"... and {len(dead_rows) - 5} more dead trial(s)")
+        return 0
+    if args.queue_command == "requeue":
+        moved = queue.requeue(include_dead=args.dead)
+        print(f"requeued {moved} trial(s)")
+        return 0
+    if args.queue_command == "drain":
+        removed = queue.drain(done_only=args.done_only)
+        which = "completed" if args.done_only else "queued"
+        print(f"drained {removed} {which} row(s)")
+        return 0
+    raise AssertionError(f"unhandled queue command {args.queue_command!r}")  # pragma: no cover
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from .core.batch import KERNEL_VERSION
+    from .sweep import ResultCache
+    from .utils.tables import format_table
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"entries            : {stats['entries']}")
+        print(f"bytes              : {stats['bytes']}")
+        print(f"corrupt            : {stats['corrupt']}")
+        kernels = stats["kernel_versions"]
+        if kernels:
+            rows = [
+                [version, count, "current" if str(version) == str(KERNEL_VERSION) else "stale"]
+                for version, count in kernels.items()
+            ]
+            print(format_table(["kernel version", "entries", ""], rows))
+        return 0
+    if args.cache_command == "gc":
+        keep = args.kernel_version if args.kernel_version is not None else KERNEL_VERSION
+        removed, removed_bytes = cache.gc(keep_kernel_version=keep, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {removed} artefact(s) ({removed_bytes} bytes) "
+            f"not matching kernel version {keep!r}"
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -429,6 +667,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "worker":
+        return _command_worker(args)
+    if args.command == "queue":
+        return _command_queue(args)
+    if args.command == "cache":
+        return _command_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -29,7 +29,18 @@ Quickstart::
         print(series.label, series.mean_robustness())
 """
 
-from .cache import CacheStats, ResultCache
+from .backends import (
+    BACKEND_NAMES,
+    Backend,
+    ProcessBackend,
+    QueueBackend,
+    QueueTaskError,
+    SerialBackend,
+    TrialResult,
+    TrialTask,
+    make_backend,
+)
+from .cache import CacheEntry, CacheStats, ResultCache
 from .executor import (
     ParallelExecutor,
     SweepOutcome,
@@ -39,7 +50,16 @@ from .executor import (
     run_sweep,
     trace_for,
 )
-from .progress import PointReport, StreamReporter
+from .progress import PointReport, StreamReporter, format_heartbeat
+from .queue import (
+    ClaimedTask,
+    QueueStatus,
+    QueueTask,
+    WorkerLease,
+    WorkQueue,
+    task_key_for,
+    worker_id,
+)
 from .spec import (
     CACHE_SCHEMA_VERSION,
     HeuristicSpec,
@@ -52,28 +72,48 @@ from .spec import (
     spawn_trial_seeds,
 )
 from .trial import TrialMetrics, execute_trial
+from .worker import run_worker
 
 __all__ = [
+    "BACKEND_NAMES",
+    "Backend",
     "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
     "CacheStats",
+    "ClaimedTask",
     "HeuristicSpec",
     "PETSpec",
     "ParallelExecutor",
     "PointReport",
+    "ProcessBackend",
+    "QueueBackend",
+    "QueueStatus",
+    "QueueTask",
+    "QueueTaskError",
     "ResultCache",
+    "SerialBackend",
     "StreamReporter",
     "SweepOutcome",
     "SweepPoint",
     "SweepSpec",
     "TraceSpec",
     "TrialMetrics",
+    "TrialResult",
+    "TrialTask",
+    "WorkQueue",
+    "WorkerLease",
     "cache_key",
     "execute_point",
     "execute_trial",
     "execute_trials",
+    "format_heartbeat",
+    "make_backend",
     "pet_for",
     "point_payload",
     "run_sweep",
+    "run_worker",
     "spawn_trial_seeds",
+    "task_key_for",
     "trace_for",
+    "worker_id",
 ]

@@ -18,11 +18,12 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from .spec import CACHE_SCHEMA_VERSION, SweepPoint, point_payload
 from .trial import TrialMetrics
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheEntry", "CacheStats", "ResultCache"]
 
 
 @dataclass
@@ -35,6 +36,27 @@ class CacheStats:
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """On-disk metadata of one cached artefact (for ``repro cache``).
+
+    ``kernel_version`` is ``None`` for artefacts too corrupt to parse —
+    those can never become hits and are garbage-collectable regardless of
+    the kernel version being kept.
+    """
+
+    path: Path
+    size_bytes: int
+    key: str
+    label: str | None
+    kernel_version: str | int | None
+    trials: int
+
+    @property
+    def readable(self) -> bool:
+        return self.kernel_version is not None
 
 
 @dataclass
@@ -96,3 +118,74 @@ class ResultCache:
             raise
         self.stats.stores += 1
         return path
+
+    # ------------------------------------------------------------------
+    # Maintenance / observation (``repro cache stats|gc``).
+    def entries(self) -> Iterator[CacheEntry]:
+        """Walk every artefact on disk (corrupt ones flagged, not skipped)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            key = path.stem
+            label = None
+            kernel: str | int | None = None
+            trials = 0
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # vanished under a concurrent gc/drain — skip
+            try:
+                payload = json.loads(path.read_text())
+                label = payload.get("label")
+                kernel = payload["point"]["engine"]
+                trials = len(payload["trials"])
+            except (OSError, ValueError, KeyError, TypeError):
+                kernel = None
+            yield CacheEntry(
+                path=path,
+                size_bytes=size,
+                key=key,
+                label=label,
+                kernel_version=kernel,
+                trials=trials,
+            )
+
+    def disk_stats(self) -> dict[str, object]:
+        """Aggregate entry count, bytes, and per-kernel-version breakdown."""
+        entries = bytes_total = corrupt = 0
+        kernels: dict[str, int] = {}
+        for entry in self.entries():
+            entries += 1
+            bytes_total += entry.size_bytes
+            if entry.readable:
+                kernels[str(entry.kernel_version)] = (
+                    kernels.get(str(entry.kernel_version), 0) + 1
+                )
+            else:
+                corrupt += 1
+        return {
+            "entries": entries,
+            "bytes": bytes_total,
+            "kernel_versions": dict(sorted(kernels.items())),
+            "corrupt": corrupt,
+        }
+
+    def gc(
+        self, *, keep_kernel_version: str | int, dry_run: bool = False
+    ) -> tuple[int, int]:
+        """Drop artefacts from stale kernel versions (and corrupt files).
+
+        Returns ``(removed_entries, removed_bytes)``.  Only artefacts whose
+        recorded kernel version matches ``keep_kernel_version`` survive —
+        anything else can never be a cache hit again (the version is part
+        of every lookup key), so it is pure dead weight.
+        """
+        removed = removed_bytes = 0
+        for entry in self.entries():
+            if entry.readable and str(entry.kernel_version) == str(keep_kernel_version):
+                continue
+            removed += 1
+            removed_bytes += entry.size_bytes
+            if not dry_run:
+                entry.path.unlink(missing_ok=True)
+        return removed, removed_bytes

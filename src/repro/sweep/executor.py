@@ -1,35 +1,32 @@
-"""Serial and process-parallel execution of sweep specifications.
+"""Backend-driven execution of sweep specifications.
 
-Two execution paths share one trial primitive (:func:`repro.sweep.trial.execute_trial`):
+The executor is a thin frontend: it resolves cache hits, hands the
+remaining trials to a pluggable :class:`~repro.sweep.backends.Backend`
+(serial in-process, local process pool, or a durable work queue drained by
+detached workers — see :mod:`repro.sweep.backends`), reassembles per-point
+results in trial order, and persists/streams them.  All backends funnel
+into the same trial primitive (:func:`repro.sweep.trial.execute_trial`)
+with seeds recomputed from spawn position, so results are bit-identical for
+every backend and ``jobs`` setting.
 
-``jobs=1``
-    In-process serial execution — the exact historical ``run_series`` loop,
-    so results stay bit-identical to the seed implementation (and to what
-    the regression tests pin).
-
-``jobs>1``
-    Trials fan out over a ``concurrent.futures.ProcessPoolExecutor`` at
-    single-trial granularity (a point's trials are independent given their
-    spawned seed sequences), so even a sweep of few points with many trials
-    saturates the pool.  Workers rebuild the PET matrix and heuristic from
-    the declarative specs; a per-process PET memo avoids rebuilding the
-    matrix for every trial.
-
-Either way, per-point results are looked up in / persisted to the optional
+Per-point results are looked up in / persisted to the optional
 content-addressed :class:`~repro.sweep.cache.ResultCache`, and one
 :class:`~repro.sweep.progress.PointReport` is streamed per finished point.
+A ``KeyboardInterrupt`` mid-sweep is handled gracefully: outstanding work
+is cancelled, already-finished trials are harvested, and every point they
+complete is flushed to the cache before the interrupt propagates.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 
 from ..simulator.engine import SimulatorConfig
+from .backends import Backend, TrialResult, TrialTask, make_backend
 from .cache import ResultCache
 from .progress import PointReport, ProgressCallback
 from .spec import (
@@ -195,7 +192,16 @@ class SweepOutcome:
 
 
 class ParallelExecutor:
-    """Drives a :class:`SweepSpec` to completion with caching and progress."""
+    """Drives a :class:`SweepSpec` to completion with caching and progress.
+
+    ``backend`` selects where trials execute: a name from
+    :data:`~repro.sweep.backends.BACKEND_NAMES` (``"serial"``,
+    ``"process"``, ``"queue"``), a ready-made backend instance, or ``None``
+    to defer to the spec's ``backend`` field (default ``"process"``, which
+    keeps the historical behaviour: in-process for ``jobs=1``, a local
+    process pool otherwise).  ``queue_dir``/``queue_workers`` configure the
+    queue backend; see :class:`~repro.sweep.backends.QueueBackend`.
+    """
 
     def __init__(
         self,
@@ -203,12 +209,18 @@ class ParallelExecutor:
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: ProgressCallback | None = None,
+        backend: str | Backend | None = None,
+        queue_dir: str | Path | None = None,
+        queue_workers: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.backend = backend
+        self.queue_dir = queue_dir
+        self.queue_workers = queue_workers
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepOutcome:
@@ -231,13 +243,22 @@ class ParallelExecutor:
                 pending.append(index)
 
         if pending:
-            if self.jobs == 1:
-                self._run_serial(outcome, pending)
-            else:
-                self._run_parallel(outcome, pending)
+            self._run_pending(outcome, pending, spec)
 
         outcome.seconds = time.perf_counter() - started
         return outcome
+
+    def _backend_for(self, spec: SweepSpec) -> Backend:
+        if self.backend is not None and not isinstance(self.backend, str):
+            return self.backend
+        name = self.backend if self.backend is not None else spec.backend
+        return make_backend(
+            name,
+            jobs=self.jobs,
+            queue_dir=self.queue_dir,
+            queue_workers=self.queue_workers,
+            heartbeat=getattr(self.progress, "heartbeat", None),
+        )
 
     # ------------------------------------------------------------------
     def _finish_point(
@@ -266,49 +287,53 @@ class ParallelExecutor:
         if self.progress is not None:
             self.progress(report)
 
-    def _run_serial(self, outcome: SweepOutcome, pending: list[int]) -> None:
-        for index in pending:
-            point_started = time.perf_counter()
-            trials = execute_point(outcome.points[index])
-            self._finish_point(
-                outcome, index, trials, time.perf_counter() - point_started
-            )
-
-    def _run_parallel(self, outcome: SweepOutcome, pending: list[int]) -> None:
+    def _run_pending(
+        self, outcome: SweepOutcome, pending: list[int], spec: SweepSpec
+    ) -> None:
         points = outcome.points
+        tasks = [
+            TrialTask(point_index=index, point=points[index], trial_index=trial)
+            for index in pending
+            for trial in range(points[index].config.trials)
+        ]
         started_at = {index: time.perf_counter() for index in pending}
         slots: dict[int, list[TrialMetrics | None]] = {
             index: [None] * points[index].config.trials for index in pending
         }
         remaining = {index: points[index].config.trials for index in pending}
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                pool.submit(_execute_point_trial, points[index], trial): (index, trial)
-                for index in pending
-                for trial in range(points[index].config.trials)
-            }
-            not_done = set(futures)
+
+        def record(result: TrialResult) -> None:
+            if slots[result.point_index][result.trial_index] is not None:
+                return  # duplicate delivery (e.g. a zombie worker) — ignore
+            slots[result.point_index][result.trial_index] = result.metrics
+            remaining[result.point_index] -= 1
+            if remaining[result.point_index] == 0:
+                trials = [t for t in slots[result.point_index] if t is not None]
+                self._finish_point(
+                    outcome,
+                    result.point_index,
+                    trials,
+                    time.perf_counter() - started_at[result.point_index],
+                )
+
+        backend = self._backend_for(spec)
+        try:
+            backend.submit_trials(tasks)
+            for result in backend.drain_results():
+                record(result)
+        except BaseException:
+            # Graceful interrupt/failure path: cancel outstanding work, but
+            # harvest trials that already finished so any point they complete
+            # reaches the cache before the exception propagates.  The harvest
+            # itself must never mask the original exception.
             try:
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index, trial = futures[future]
-                        slots[index][trial] = future.result()
-                        remaining[index] -= 1
-                        if remaining[index] == 0:
-                            trials = [t for t in slots[index] if t is not None]
-                            self._finish_point(
-                                outcome,
-                                index,
-                                trials,
-                                time.perf_counter() - started_at[index],
-                            )
-            except BaseException:
-                # Don't let a sweep with thousands of queued trials drain to
-                # completion behind a failure; completed points are already
-                # cached, everything else is abandoned.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+                for result in backend.cancel():
+                    record(result)
+            except Exception:  # pragma: no cover - defensive
+                pass
+            raise
+        finally:
+            backend.close()
 
 
 def run_sweep(
@@ -318,14 +343,26 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    backend: str | Backend | None = None,
+    queue_dir: str | Path | None = None,
+    queue_workers: int | None = None,
 ) -> SweepOutcome:
     """One-call convenience wrapper around :class:`ParallelExecutor`.
 
     ``cache_dir`` builds a :class:`ResultCache` rooted there; passing an
     explicit ``cache`` instance takes precedence (e.g. to share counters
-    across several sweeps).
+    across several sweeps).  ``backend``/``queue_dir``/``queue_workers``
+    select and configure the execution backend (default: the spec's, which
+    is ``"process"`` unless overridden — in-process for ``jobs=1``).
     """
     if cache is None and cache_dir is not None:
         cache = ResultCache(Path(cache_dir))
-    executor = ParallelExecutor(jobs=jobs, cache=cache, progress=progress)
+    executor = ParallelExecutor(
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        backend=backend,
+        queue_dir=queue_dir,
+        queue_workers=queue_workers,
+    )
     return executor.run(spec)

@@ -4,17 +4,28 @@ The executor emits one :class:`PointReport` per completed sweep point (cache
 hits included, flagged as such).  A *reporter* is any callable accepting the
 report; :class:`StreamReporter` renders human-readable lines, and the default
 ``None`` keeps programmatic runs silent.
+
+A reporter may additionally expose a ``heartbeat(status)`` method; the queue
+backend calls it periodically with a
+:class:`~repro.sweep.queue.QueueStatus` snapshot, so a sweep waiting on
+detached workers renders who is working remotely and how far along the
+queue is.  Reporters without the method (including plain callables like
+``list.append``) simply never see heartbeats.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
-from typing import IO, Callable, Optional
+from typing import IO, TYPE_CHECKING, Callable, Optional
 
 from .trial import TrialMetrics
 
-__all__ = ["PointReport", "ProgressCallback", "StreamReporter"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .queue import QueueStatus
+
+__all__ = ["PointReport", "ProgressCallback", "StreamReporter", "format_heartbeat"]
 
 
 @dataclass(frozen=True)
@@ -74,3 +85,29 @@ class StreamReporter:
             f"({report.trials} trials, {source})\n"
         )
         self._stream.flush()
+
+    def heartbeat(self, status: "QueueStatus") -> None:
+        """Render one remote-worker heartbeat line from queue state."""
+        self._stream.write(format_heartbeat(status) + "\n")
+        self._stream.flush()
+
+
+def format_heartbeat(status: "QueueStatus", *, now: float | None = None) -> str:
+    """One line summarising queue progress and the workers holding leases.
+
+    ``now`` (defaults to the current wall clock, the basis of lease
+    deadlines) turns each lease expiry into a human-readable time-left.
+    """
+    now = time.time() if now is None else now
+    line = (
+        f"[queue] {status.pending} pending, {status.leased} leased, "
+        f"{status.done} done, {status.dead} dead"
+    )
+    if status.workers:
+        leases = ", ".join(
+            f"{lease.owner} ({lease.tasks} leased, "
+            f"{max(0.0, lease.lease_expires_at - now):.0f}s left)"
+            for lease in status.workers
+        )
+        line += f" | workers: {leases}"
+    return line

@@ -1,0 +1,476 @@
+"""Durable SQLite work queue shared by detached sweep workers.
+
+One queue directory holds one SQLite database (``queue.sqlite``) whose rows
+are single trials: a row is keyed by ``"{point_cache_key}:{trial_index}"`` —
+the *same* content address :class:`~repro.sweep.cache.ResultCache` shards
+artefacts by, extended with the trial position — so enqueueing a sweep twice
+is idempotent, and a row completed by any worker on any host is a valid
+result for every future sweep of the same point.
+
+The row lifecycle is a four-state machine::
+
+    pending ──claim──▶ leased ──complete──▶ done
+       ▲                 │
+       │   lease expired │ attempts < max_attempts
+       └─────────────────┤
+                         │ attempts >= max_attempts
+                         └──────────────────────────▶ dead
+
+* **claim** is atomic (``BEGIN IMMEDIATE``): exactly one worker wins a row,
+  stamping its owner id and a lease deadline.  Expired leases are claimable
+  directly, so a SIGKILL'd worker's trial is picked up by any survivor.
+* **complete** stores the trial's :class:`~repro.sweep.trial.TrialMetrics`
+  as JSON in the row itself; completions are guarded by the lease owner, and
+  a zombie worker completing after losing its lease is silently ignored
+  (the result would be bit-identical anyway — trials are deterministic in
+  the row key).
+* **attempts** counts claims; a row that keeps expiring (or failing) moves
+  to ``dead`` once ``max_attempts`` claims have been burned, so one
+  poisonous trial can never wedge the queue.
+
+Every operation opens its own short-lived connection with a generous busy
+timeout, which keeps the queue safe under many concurrent worker processes
+— including workers on different hosts sharing the queue directory over a
+filesystem with working POSIX locks (SQLite's locking requirement).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import sqlite3
+import time
+from contextlib import closing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .trial import TrialMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .spec import SweepPoint
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "TASK_STATES",
+    "ClaimedTask",
+    "QueueStatus",
+    "QueueTask",
+    "WorkQueue",
+    "WorkerLease",
+    "task_key_for",
+    "worker_id",
+]
+
+#: Seconds a claim stays valid without renewal; workers renew at a third of
+#: this, so only a crashed (not merely slow) worker loses its lease.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Claims burned before a row is declared dead (first claim included).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: The row states, in lifecycle order.
+TASK_STATES: tuple[str, ...] = ("pending", "leased", "done", "dead")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tasks (
+    task_key         TEXT PRIMARY KEY,
+    point_key        TEXT NOT NULL,
+    trial_index      INTEGER NOT NULL,
+    label            TEXT NOT NULL,
+    point_blob       BLOB NOT NULL,
+    status           TEXT NOT NULL DEFAULT 'pending',
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    max_attempts     INTEGER NOT NULL,
+    lease_owner      TEXT,
+    lease_expires_at REAL,
+    result_json      TEXT,
+    error            TEXT,
+    enqueued_at      REAL NOT NULL,
+    updated_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS tasks_status ON tasks (status, lease_expires_at);
+"""
+
+
+def task_key_for(point: "SweepPoint", trial_index: int) -> str:
+    """Content address of one trial: the point's cache key + trial position."""
+    return f"{point.cache_key()}:{trial_index:05d}"
+
+
+def worker_id() -> str:
+    """Human-readable owner id for one worker process (``host:pid``)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class QueueTask:
+    """One row of the queue, as observed at a point in time."""
+
+    task_key: str
+    point_key: str
+    trial_index: int
+    label: str
+    status: str
+    attempts: int
+    max_attempts: int
+    lease_owner: str | None
+    lease_expires_at: float | None
+    error: str | None
+
+
+@dataclass(frozen=True)
+class ClaimedTask:
+    """A leased trial handed to a worker: the rebuilt point plus bookkeeping."""
+
+    task_key: str
+    point: "SweepPoint"
+    trial_index: int
+    attempts: int
+    lease_expires_at: float
+
+
+@dataclass(frozen=True)
+class WorkerLease:
+    """Aggregate view of one worker's active leases (a remote heartbeat)."""
+
+    owner: str
+    tasks: int
+    lease_expires_at: float
+
+
+@dataclass(frozen=True)
+class QueueStatus:
+    """Counts per state plus per-worker lease heartbeats."""
+
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    dead: int = 0
+    workers: tuple[WorkerLease, ...] = ()
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done + self.dead
+
+    @property
+    def unfinished(self) -> int:
+        """Rows that could still produce a result (pending or leased)."""
+        return self.pending + self.leased
+
+
+class WorkQueue:
+    """Durable trial queue rooted at a directory (``<dir>/queue.sqlite``)."""
+
+    def __init__(
+        self,
+        queue_dir: str | Path,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        busy_timeout: float = 30.0,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.queue_dir = Path(queue_dir)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.busy_timeout = float(busy_timeout)
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.queue_dir / "queue.sqlite"
+        with closing(self._connect()) as conn:
+            conn.executescript(_SCHEMA)
+            conn.commit()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, timeout=self.busy_timeout)
+        conn.isolation_level = None  # explicit BEGIN/COMMIT only
+        return conn
+
+    # ------------------------------------------------------------------
+    # Producer side (the QueueBackend frontend).
+    def enqueue(self, point: "SweepPoint", trial_index: int) -> str:
+        """Add one trial; a no-op if the row (any state) already exists.
+
+        Idempotence is what makes re-running an interrupted sweep safe: rows
+        already ``done`` keep their result and are served straight back.
+        """
+        key = task_key_for(point, trial_index)
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute(
+                "INSERT INTO tasks (task_key, point_key, trial_index, label, point_blob,"
+                " status, max_attempts, enqueued_at, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, 'pending', ?, ?, ?)"
+                " ON CONFLICT(task_key) DO NOTHING",
+                (
+                    key,
+                    point.cache_key(),
+                    trial_index,
+                    point.label,
+                    pickle.dumps(point),
+                    self.max_attempts,
+                    now,
+                    now,
+                ),
+            )
+            conn.commit()
+        return key
+
+    def enqueue_point(self, point: "SweepPoint") -> list[str]:
+        """Enqueue every trial of one point; returns the row keys in order."""
+        return [self.enqueue(point, trial) for trial in range(point.config.trials)]
+
+    # ------------------------------------------------------------------
+    # Worker side.
+    def claim(self, owner: str, *, now: float | None = None) -> ClaimedTask | None:
+        """Atomically lease the oldest claimable row, or return ``None``.
+
+        Claimable means ``pending``, or ``leased`` with an expired lease
+        (crash recovery).  Rows whose claims are exhausted are flipped to
+        ``dead`` instead of being handed out.
+        """
+        now = time.time() if now is None else now
+        with closing(self._connect()) as conn:
+            while True:
+                conn.execute("BEGIN IMMEDIATE")
+                row = conn.execute(
+                    "SELECT task_key, point_blob, trial_index, attempts, max_attempts"
+                    " FROM tasks"
+                    " WHERE status = 'pending'"
+                    "    OR (status = 'leased' AND lease_expires_at <= ?)"
+                    " ORDER BY enqueued_at, task_key LIMIT 1",
+                    (now,),
+                ).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return None
+                key, blob, trial_index, attempts, max_attempts = row
+                if attempts >= max_attempts:
+                    conn.execute(
+                        "UPDATE tasks SET status = 'dead', lease_owner = NULL,"
+                        " lease_expires_at = NULL, updated_at = ?,"
+                        " error = COALESCE(error, 'lease expired with attempts exhausted')"
+                        " WHERE task_key = ?",
+                        (now, key),
+                    )
+                    conn.execute("COMMIT")
+                    continue
+                expires = now + self.lease_seconds
+                conn.execute(
+                    "UPDATE tasks SET status = 'leased', lease_owner = ?,"
+                    " lease_expires_at = ?, attempts = attempts + 1, updated_at = ?"
+                    " WHERE task_key = ?",
+                    (owner, expires, now, key),
+                )
+                conn.execute("COMMIT")
+                return ClaimedTask(
+                    task_key=key,
+                    point=pickle.loads(blob),
+                    trial_index=int(trial_index),
+                    attempts=int(attempts) + 1,
+                    lease_expires_at=expires,
+                )
+
+    def renew(self, task_key: str, owner: str) -> bool:
+        """Extend a live lease; returns ``False`` if the lease was lost."""
+        now = time.time()
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET lease_expires_at = ?, updated_at = ?"
+                " WHERE task_key = ? AND status = 'leased' AND lease_owner = ?",
+                (now + self.lease_seconds, now, task_key, owner),
+            )
+            conn.commit()
+            return cursor.rowcount == 1
+
+    def complete(self, task_key: str, owner: str, metrics: TrialMetrics) -> bool:
+        """Store a finished trial's metrics; owner-guarded against zombies."""
+        now = time.time()
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET status = 'done', result_json = ?, error = NULL,"
+                " lease_owner = NULL, lease_expires_at = NULL, updated_at = ?"
+                " WHERE task_key = ? AND status = 'leased' AND lease_owner = ?",
+                (json.dumps(metrics.to_payload()), now, task_key, owner),
+            )
+            conn.commit()
+            return cursor.rowcount == 1
+
+    def release(self, task_key: str, owner: str) -> bool:
+        """Hand a leased row straight back without burning its attempt.
+
+        For orderly give-backs (an interrupted worker, a clean shutdown):
+        the row returns to ``pending`` immediately and the claim that is
+        being abandoned is refunded, so a user stopping and restarting
+        workers can never dead-letter a healthy trial.
+        """
+        now = time.time()
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET status = 'pending', lease_owner = NULL,"
+                " lease_expires_at = NULL, attempts = attempts - 1, updated_at = ?"
+                " WHERE task_key = ? AND status = 'leased' AND lease_owner = ?",
+                (now, task_key, owner),
+            )
+            conn.commit()
+            return cursor.rowcount == 1
+
+    def fail(self, task_key: str, owner: str, error: str) -> bool:
+        """Record a trial failure: bounded retry, then the dead-letter state."""
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM tasks"
+                " WHERE task_key = ? AND status = 'leased' AND lease_owner = ?",
+                (task_key, owner),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return False
+            attempts, max_attempts = row
+            next_state = "dead" if attempts >= max_attempts else "pending"
+            conn.execute(
+                "UPDATE tasks SET status = ?, error = ?, lease_owner = NULL,"
+                " lease_expires_at = NULL, updated_at = ? WHERE task_key = ?",
+                (next_state, error, now, task_key),
+            )
+            conn.execute("COMMIT")
+            return True
+
+    # ------------------------------------------------------------------
+    # Maintenance / observation (frontend, CLI).
+    def recover_expired(self, *, now: float | None = None) -> int:
+        """Re-enqueue expired leases (or dead-letter exhausted ones).
+
+        :meth:`claim` would pick expired rows up anyway; this exists so the
+        frontend and ``repro queue requeue`` can surface recovery eagerly
+        (and so heartbeat displays never show a long-gone worker as live).
+        """
+        now = time.time() if now is None else now
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            dead = conn.execute(
+                "UPDATE tasks SET status = 'dead', lease_owner = NULL,"
+                " lease_expires_at = NULL, updated_at = ?,"
+                " error = COALESCE(error, 'lease expired with attempts exhausted')"
+                " WHERE status = 'leased' AND lease_expires_at <= ? AND attempts >= max_attempts",
+                (now, now),
+            ).rowcount
+            recovered = conn.execute(
+                "UPDATE tasks SET status = 'pending', lease_owner = NULL,"
+                " lease_expires_at = NULL, updated_at = ?"
+                " WHERE status = 'leased' AND lease_expires_at <= ?",
+                (now, now),
+            ).rowcount
+            conn.execute("COMMIT")
+        return recovered + dead
+
+    def requeue(self, *, include_dead: bool = False) -> int:
+        """Move expired leases (and optionally dead rows) back to pending.
+
+        Requeued dead rows get a fresh attempt budget — this is the manual
+        "I fixed the bug, try again" escape hatch.
+        """
+        recovered = self.recover_expired()
+        if not include_dead:
+            return recovered
+        now = time.time()
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE tasks SET status = 'pending', attempts = 0, error = NULL,"
+                " updated_at = ? WHERE status = 'dead'",
+                (now,),
+            )
+            conn.commit()
+            return recovered + cursor.rowcount
+
+    def drain(self, *, done_only: bool = False) -> int:
+        """Delete rows (all of them, or just the completed ones)."""
+        with closing(self._connect()) as conn:
+            if done_only:
+                cursor = conn.execute("DELETE FROM tasks WHERE status = 'done'")
+            else:
+                cursor = conn.execute("DELETE FROM tasks")
+            conn.commit()
+            return cursor.rowcount
+
+    def status(self) -> QueueStatus:
+        """Counts per state plus per-worker active-lease heartbeats."""
+        with closing(self._connect()) as conn:
+            counts = dict(
+                conn.execute("SELECT status, COUNT(*) FROM tasks GROUP BY status")
+            )
+            workers = tuple(
+                WorkerLease(owner=owner, tasks=int(tasks), lease_expires_at=float(expires))
+                for owner, tasks, expires in conn.execute(
+                    "SELECT lease_owner, COUNT(*), MAX(lease_expires_at) FROM tasks"
+                    " WHERE status = 'leased' GROUP BY lease_owner ORDER BY lease_owner"
+                )
+            )
+        return QueueStatus(
+            pending=int(counts.get("pending", 0)),
+            leased=int(counts.get("leased", 0)),
+            done=int(counts.get("done", 0)),
+            dead=int(counts.get("dead", 0)),
+            workers=workers,
+        )
+
+    def tasks(self, task_keys: Iterable[str] | None = None) -> list[QueueTask]:
+        """Observe rows (all, or a subset by key), without their results."""
+        base = (
+            "SELECT task_key, point_key, trial_index, label, status, attempts,"
+            " max_attempts, lease_owner, lease_expires_at, error FROM tasks"
+        )
+        rows: list[tuple] = []
+        with closing(self._connect()) as conn:
+            if task_keys is None:
+                rows = list(conn.execute(base + " ORDER BY enqueued_at, task_key"))
+            else:
+                for chunk in _chunked(list(task_keys), 500):
+                    marks = ",".join("?" * len(chunk))
+                    rows.extend(
+                        conn.execute(base + f" WHERE task_key IN ({marks})", chunk)
+                    )
+        return [
+            QueueTask(
+                task_key=key,
+                point_key=point_key,
+                trial_index=int(trial_index),
+                label=label,
+                status=status,
+                attempts=int(attempts),
+                max_attempts=int(max_attempts),
+                lease_owner=owner,
+                lease_expires_at=expires,
+                error=error,
+            )
+            for key, point_key, trial_index, label, status, attempts,
+                max_attempts, owner, expires, error in rows
+        ]
+
+    def results(self, task_keys: Sequence[str]) -> dict[str, TrialMetrics]:
+        """Fetch the metrics of every ``done`` row among ``task_keys``."""
+        out: dict[str, TrialMetrics] = {}
+        with closing(self._connect()) as conn:
+            for chunk in _chunked(list(task_keys), 500):
+                marks = ",".join("?" * len(chunk))
+                for key, payload in conn.execute(
+                    "SELECT task_key, result_json FROM tasks"
+                    f" WHERE status = 'done' AND task_key IN ({marks})",
+                    chunk,
+                ):
+                    out[key] = TrialMetrics.from_payload(json.loads(payload))
+        return out
+
+
+def _chunked(items: list, size: int) -> Iterable[list]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

@@ -1,0 +1,134 @@
+"""Detached sweep worker: claim trials from a queue, execute, repeat.
+
+A worker is a plain process (``repro worker --queue-dir ...``) that needs
+nothing but the queue directory: every claimed row carries its pickled
+:class:`~repro.sweep.spec.SweepPoint`, and the trial runs through the exact
+same entry point the process-pool backend uses
+(:func:`repro.sweep.executor._execute_point_trial`), so a trial computes the
+same bits no matter which worker on which host executes it.
+
+While a trial runs, a daemon thread renews the row's lease at a third of
+the lease period — only a *crashed* worker (SIGKILL, OOM, power loss) stops
+renewing, at which point the lease expires and any other worker recovers
+the trial.  A failing trial is reported with its traceback and retried up
+to the queue's attempt budget before landing in the dead-letter state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Callable
+
+from .queue import (
+    DEFAULT_LEASE_SECONDS,
+    WorkQueue,
+    worker_id,
+)
+
+__all__ = ["run_worker"]
+
+#: How long an idle worker sleeps between claim attempts.
+DEFAULT_POLL_INTERVAL = 0.5
+
+
+class _LeaseRenewer:
+    """Daemon thread keeping one claimed row's lease alive during execution."""
+
+    def __init__(self, queue: WorkQueue, task_key: str, owner: str) -> None:
+        self._queue = queue
+        self._task_key = task_key
+        self._owner = owner
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(self._queue.lease_seconds / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            if not self._queue.renew(self._task_key, self._owner):
+                return  # lease lost (expired and re-claimed); stop renewing
+
+    def __enter__(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_worker(
+    queue_dir: str | Path,
+    *,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_tasks: int | None = None,
+    exit_when_empty: bool = False,
+    idle_timeout: float | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Pull and execute trials until stopped; returns trials executed.
+
+    ``exit_when_empty`` exits once no row is pending *or* leased (i.e. the
+    queue holds only finished work) — a leased row might still crash back
+    into pending, so a merely-idle worker keeps polling until every row is
+    settled.  ``idle_timeout`` exits after that many seconds without a
+    successful claim.  ``max_tasks`` bounds the number of executed trials
+    (useful in tests).  All three default to "run forever", the detached
+    long-lived worker mode.
+    """
+    # Imported here (not at module top) so ``repro worker`` start-up stays
+    # cheap and the queue layer never depends on the executor layer.
+    from .executor import _execute_point_trial
+
+    queue = WorkQueue(queue_dir, lease_seconds=lease_seconds)
+    owner = worker_id()
+    say = log if log is not None else (lambda message: None)
+    executed = 0
+    last_claim = time.monotonic()
+    say(f"worker {owner} polling {queue.db_path}")
+    while True:
+        # No eager recover_expired() here: claim() already treats expired
+        # leases as claimable (and dead-letters exhausted ones), so the hot
+        # loop stays one write transaction per claim, not two.
+        claimed = queue.claim(owner)
+        if claimed is None:
+            status = queue.status()
+            if exit_when_empty and status.unfinished == 0:
+                say(f"worker {owner} exiting: queue settled ({status.done} done)")
+                break
+            if (
+                idle_timeout is not None
+                and time.monotonic() - last_claim >= idle_timeout
+            ):
+                say(f"worker {owner} exiting: idle for {idle_timeout:.0f}s")
+                break
+            time.sleep(poll_interval)
+            continue
+        last_claim = time.monotonic()
+        say(
+            f"worker {owner} claimed {claimed.task_key[:12]}… "
+            f"({claimed.point.label!r} trial {claimed.trial_index}, "
+            f"attempt {claimed.attempts})"
+        )
+        with _LeaseRenewer(queue, claimed.task_key, owner):
+            try:
+                metrics = _execute_point_trial(claimed.point, claimed.trial_index)
+            except KeyboardInterrupt:
+                # Hand the trial straight back rather than letting the lease
+                # time out — and refund the attempt, so repeatedly stopping
+                # and restarting workers can never dead-letter the trial.
+                queue.release(claimed.task_key, owner)
+                raise
+            except Exception:
+                queue.fail(claimed.task_key, owner, traceback.format_exc())
+                say(f"worker {owner} failed {claimed.task_key[:12]}…")
+                continue
+        queue.complete(claimed.task_key, owner, metrics)
+        executed += 1
+        if max_tasks is not None and executed >= max_tasks:
+            say(f"worker {owner} exiting: max tasks ({max_tasks}) reached")
+            break
+    return executed

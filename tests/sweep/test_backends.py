@@ -1,0 +1,394 @@
+"""Tests for the pluggable execution backends.
+
+The load-bearing guarantee: every backend produces bit-identical
+``TrialMetrics`` for the same :class:`SweepSpec`, because trials always run
+through the same seeded entry point regardless of where they execute.  On
+top of that, the executor's interrupt path must flush every point whose
+trials all finished to the result cache before the interrupt propagates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, workload_for_level
+from repro.sweep import (
+    BACKEND_NAMES,
+    HeuristicSpec,
+    PETSpec,
+    ProcessBackend,
+    ResultCache,
+    SerialBackend,
+    SweepPoint,
+    SweepSpec,
+    TrialResult,
+    format_heartbeat,
+    make_backend,
+    run_sweep,
+    run_worker,
+)
+from repro.sweep.queue import QueueStatus, WorkerLease
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(
+        trials=2, seed=47, warmup_tasks=5, cooldown_tasks=5, task_scale=0.1
+    )
+
+
+@pytest.fixture(scope="module")
+def spec(config) -> SweepSpec:
+    pet = PETSpec(kind="spec", seed=config.seed)
+    workload = workload_for_level("34k", config)
+    return SweepSpec(
+        points=tuple(
+            SweepPoint(
+                label=name,
+                pet=pet,
+                heuristic=HeuristicSpec(name),
+                workload=workload,
+                config=config,
+            )
+            for name in ("MM", "PAM")
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(spec):
+    return run_sweep(spec, jobs=1)
+
+
+class TestBackendResolution:
+    def test_default_jobs_1_is_serial_in_process(self):
+        assert isinstance(make_backend(None, jobs=1), SerialBackend)
+        assert isinstance(make_backend("process", jobs=1), SerialBackend)
+
+    def test_process_backend_for_multiple_jobs(self):
+        backend = make_backend("process", jobs=3)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 3
+
+    def test_serial_name_forces_serial(self):
+        assert isinstance(make_backend("serial", jobs=4), SerialBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("rpc", jobs=1)
+
+    def test_queue_backend_requires_queue_dir(self):
+        with pytest.raises(ValueError, match="queue directory"):
+            make_backend("queue", jobs=1)
+
+    def test_spec_backend_knob_is_validated_and_consulted(self, spec):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepSpec(points=spec.points, backend="rpc")
+        queue_spec = SweepSpec(points=spec.points, backend="queue")
+        with pytest.raises(ValueError, match="queue directory"):
+            run_sweep(queue_spec)
+
+    def test_backend_is_not_part_of_the_content_address(self, spec):
+        relabelled = SweepSpec(points=spec.points, backend="serial")
+        for a, b in zip(spec.points, relabelled.points):
+            assert a.cache_key() == b.cache_key()
+
+
+class TestBackendEquivalence:
+    def test_serial_backend_matches_jobs_1(self, spec, serial_outcome):
+        outcome = run_sweep(spec, backend="serial")
+        assert outcome.trials_per_point == serial_outcome.trials_per_point
+
+    def test_process_backend_matches_jobs_1(self, spec, serial_outcome):
+        outcome = run_sweep(spec, jobs=2, backend="process")
+        assert outcome.trials_per_point == serial_outcome.trials_per_point
+        assert outcome.executed_trials == spec.total_trials
+
+    def test_queue_backend_matches_jobs_1(self, tmp_path, spec, serial_outcome):
+        """An in-thread worker drains the queue; results merge bit-identically.
+
+        (Detached multi-process workers — including a SIGKILL'd one — are
+        covered in ``test_queue_recovery.py``.)
+        """
+        queue_dir = tmp_path / "queue"
+        worker = threading.Thread(
+            target=run_worker,
+            args=(queue_dir,),
+            kwargs=dict(poll_interval=0.02, max_tasks=spec.total_trials),
+        )
+        worker.start()
+        try:
+            outcome = run_sweep(
+                spec, backend="queue", queue_dir=queue_dir, queue_workers=0
+            )
+        finally:
+            worker.join(timeout=120)
+        assert outcome.trials_per_point == serial_outcome.trials_per_point
+        assert outcome.executed_trials == spec.total_trials
+
+    def test_warm_queue_serves_results_without_workers(
+        self, tmp_path, spec, serial_outcome
+    ):
+        """Queue rows are durable and content-addressed: a second sweep over
+        the same queue directory needs no workers at all."""
+        queue_dir = tmp_path / "queue"
+        worker = threading.Thread(
+            target=run_worker,
+            args=(queue_dir,),
+            kwargs=dict(poll_interval=0.02, max_tasks=spec.total_trials),
+        )
+        worker.start()
+        try:
+            run_sweep(spec, backend="queue", queue_dir=queue_dir, queue_workers=0)
+        finally:
+            worker.join(timeout=120)
+        rerun = run_sweep(spec, backend="queue", queue_dir=queue_dir, queue_workers=0)
+        assert rerun.trials_per_point == serial_outcome.trials_per_point
+
+
+class _InterruptingBackend:
+    """Yields the results it was given, then raises ``KeyboardInterrupt``;
+    the held-back results become the cancel() harvest."""
+
+    def __init__(self, yield_before_interrupt: int) -> None:
+        self.yield_before_interrupt = yield_before_interrupt
+        self._results: list[TrialResult] = []
+        self.cancelled = False
+        self.closed = False
+
+    def submit_trials(self, tasks) -> None:
+        from repro.sweep.executor import _execute_point_trial
+
+        self._results = [
+            TrialResult(
+                point_index=task.point_index,
+                trial_index=task.trial_index,
+                metrics=_execute_point_trial(task.point, task.trial_index),
+            )
+            for task in tasks
+        ]
+
+    def drain_results(self):
+        yield from self._results[: self.yield_before_interrupt]
+        raise KeyboardInterrupt
+
+    def cancel(self):
+        self.cancelled = True
+        return self._results[self.yield_before_interrupt :]
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestGracefulInterrupt:
+    def test_interrupt_flushes_completed_points_to_cache(self, tmp_path, spec):
+        """Ctrl-C mid-sweep: outstanding work is cancelled and every point
+        whose trials all finished is in the cache when the interrupt lands."""
+        backend = _InterruptingBackend(yield_before_interrupt=spec.total_trials)
+        cache = ResultCache(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(spec, cache=cache, backend=backend)
+        assert backend.cancelled and backend.closed
+        assert cache.stats.stores == len(spec.points)
+        for point in spec.points:
+            assert cache.load(point) is not None
+
+    def test_interrupt_harvests_undrained_results(self, tmp_path, spec):
+        """Results that finished but were never drained still reach the cache
+        via the cancel() harvest."""
+        backend = _InterruptingBackend(yield_before_interrupt=1)
+        cache = ResultCache(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(spec, cache=cache, backend=backend)
+        assert cache.stats.stores == len(spec.points)
+
+    def test_interrupted_sweep_resumes_from_cache(self, tmp_path, spec, serial_outcome):
+        backend = _InterruptingBackend(yield_before_interrupt=1)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(spec, cache_dir=tmp_path, backend=backend)
+        resumed = run_sweep(spec, cache_dir=tmp_path)
+        assert resumed.executed_trials == 0
+        assert resumed.trials_per_point == serial_outcome.trials_per_point
+
+
+class TestHeartbeats:
+    def test_format_heartbeat_renders_workers(self):
+        status = QueueStatus(
+            pending=3,
+            leased=2,
+            done=5,
+            dead=1,
+            workers=(WorkerLease(owner="host:42", tasks=2, lease_expires_at=1060.0),),
+        )
+        line = format_heartbeat(status, now=1000.0)
+        assert line == (
+            "[queue] 3 pending, 2 leased, 5 done, 1 dead"
+            " | workers: host:42 (2 leased, 60s left)"
+        )
+
+    def test_format_heartbeat_without_workers(self):
+        assert format_heartbeat(QueueStatus(pending=1)) == (
+            "[queue] 1 pending, 0 leased, 0 done, 0 dead"
+        )
+
+    def test_stream_reporter_exposes_heartbeat(self, capsys):
+        import io
+
+        from repro.sweep import StreamReporter
+
+        stream = io.StringIO()
+        StreamReporter(stream).heartbeat(QueueStatus(pending=2))
+        assert "[queue] 2 pending" in stream.getvalue()
+
+    def test_queue_backend_emits_heartbeats_while_waiting(self, tmp_path, spec):
+        beats: list[QueueStatus] = []
+        worker = threading.Thread(
+            target=run_worker,
+            args=(tmp_path / "queue",),
+            kwargs=dict(poll_interval=0.02, max_tasks=spec.total_trials),
+        )
+        worker.start()
+        try:
+
+            class _Progress:
+                def __call__(self, report):
+                    pass
+
+                def heartbeat(self, status):
+                    beats.append(status)
+
+            run_sweep(
+                spec,
+                backend="queue",
+                queue_dir=tmp_path / "queue",
+                queue_workers=0,
+                progress=_Progress(),
+            )
+        finally:
+            worker.join(timeout=120)
+        assert beats, "no heartbeat was emitted while waiting on remote workers"
+        assert all(isinstance(b, QueueStatus) for b in beats)
+
+
+def test_backend_names_are_stable():
+    # The CLI, SweepSpec validation and docs all name these three.
+    assert BACKEND_NAMES == ("serial", "process", "queue")
+
+
+class TestDetachedWorkersEndToEnd:
+    def test_fig4_queue_sweep_with_two_detached_workers_matches_serial(self, tmp_path):
+        """The acceptance path: a figure-4 sweep through ``QueueBackend``
+        with two spawned ``repro worker`` processes merges bit-identically
+        (atol=0) to the ``jobs=1`` serial run, under identical cache keys.
+        """
+        from repro.experiments.fig4_lambda import run_fig4
+
+        config = ExperimentConfig(
+            trials=1, seed=29, warmup_tasks=5, cooldown_tasks=5, task_scale=0.1
+        )
+        lambdas = (0.5, 0.9)
+        serial_cache = tmp_path / "serial-cache"
+        queued_cache = tmp_path / "queued-cache"
+        serial = run_fig4(config, lambdas=lambdas, cache_dir=serial_cache)
+        queued = run_fig4(
+            config,
+            lambdas=lambdas,
+            cache_dir=queued_cache,
+            backend="queue",
+            queue_dir=tmp_path / "queue",
+            queue_workers=2,
+        )
+        assert set(queued.series) == set(serial.series)
+        for key, series in serial.series.items():
+            assert queued.series[key].trials == series.trials  # bit-identical
+        # Identical sweep cache keys: both runs produced the same artefacts.
+        serial_keys = sorted(p.name for p in serial_cache.glob("??/*.json"))
+        queued_keys = sorted(p.name for p in queued_cache.glob("??/*.json"))
+        assert serial_keys == queued_keys and serial_keys
+
+
+class TestSpawnedWorkerFailure:
+    def test_dead_spawned_workers_fail_fast_with_log_pointer(
+        self, tmp_path, spec, monkeypatch
+    ):
+        """If every worker the backend spawned dies without draining the
+        queue, the sweep fails fast naming the logs instead of hanging."""
+        import sys
+
+        from repro.sweep.backends import QueueBackend
+        from repro.sweep.executor import TrialTask
+
+        monkeypatch.setattr(sys, "executable", "/bin/false")
+        backend = QueueBackend(tmp_path / "queue", workers=2, poll_interval=0.02)
+        backend.submit_trials(
+            [TrialTask(point_index=0, point=spec.points[0], trial_index=0)]
+        )
+        try:
+            with pytest.raises(RuntimeError, match="stranded pending"):
+                for _ in backend.drain_results():  # pragma: no cover - must raise
+                    pass
+        finally:
+            backend.close()
+
+
+class TestDeadLetterSurfacing:
+    def test_drain_raises_queue_task_error_for_dead_rows(self, tmp_path, spec):
+        """A trial that exhausted its attempts fails the sweep loudly, naming
+        the point and the recorded error (instead of hanging forever)."""
+        from repro.sweep import QueueTaskError, WorkQueue
+        from repro.sweep.backends import QueueBackend, TrialTask
+
+        queue = WorkQueue(tmp_path / "queue", max_attempts=1)
+        point = spec.points[0]
+        queue.enqueue(point, 0)
+        claimed = queue.claim("w")
+        queue.fail(claimed.task_key, "w", "ValueError: poisoned trial")
+
+        backend = QueueBackend(tmp_path / "queue", workers=0, poll_interval=0.02)
+        backend.submit_trials([TrialTask(point_index=0, point=point, trial_index=0)])
+        with pytest.raises(QueueTaskError, match="poisoned trial"):
+            for _ in backend.drain_results():  # pragma: no cover - must raise
+                pass
+        backend.close()
+
+
+class TestDuplicateContentAddresses:
+    def test_points_sharing_a_content_address_all_receive_results(
+        self, tmp_path, config
+    ):
+        """Labels are excluded from cache keys, so a grid can contain points
+        with identical content addresses; one physical queue row must then
+        feed every such point (not just the last one submitted)."""
+        pet = PETSpec(kind="spec", seed=config.seed)
+        workload = workload_for_level("34k", config)
+        twins = SweepSpec(
+            points=tuple(
+                SweepPoint(
+                    label=label,
+                    pet=pet,
+                    heuristic=HeuristicSpec("MM"),
+                    workload=workload,
+                    config=config,
+                )
+                for label in ("twin-a", "twin-b")
+            )
+        )
+        assert twins.points[0].cache_key() == twins.points[1].cache_key()
+        serial = run_sweep(twins, jobs=1)
+
+        worker = threading.Thread(
+            target=run_worker,
+            args=(tmp_path / "queue",),
+            kwargs=dict(poll_interval=0.02, max_tasks=config.trials),  # one row set
+        )
+        worker.start()
+        try:
+            outcome = run_sweep(
+                twins, backend="queue", queue_dir=tmp_path / "queue", queue_workers=0
+            )
+        finally:
+            worker.join(timeout=120)
+        assert outcome.trials_per_point == serial.trials_per_point
+        assert all(outcome.trials_per_point)  # both twins populated

@@ -1,0 +1,289 @@
+"""Unit tests for the durable SQLite work queue.
+
+Lease timing is driven through the explicit ``now`` parameters of
+:meth:`WorkQueue.claim` / :meth:`WorkQueue.recover_expired`, so expiry and
+crash recovery are exercised deterministically, without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sweep import (
+    HeuristicSpec,
+    PETSpec,
+    SweepPoint,
+    TrialMetrics,
+    WorkQueue,
+    task_key_for,
+)
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture
+def point() -> SweepPoint:
+    return SweepPoint(
+        label="demo",
+        pet=PETSpec(kind="spec", seed=5),
+        heuristic=HeuristicSpec(name="MM"),
+        workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+        config=ExperimentConfig(trials=2, seed=5),
+    )
+
+
+@pytest.fixture
+def queue(tmp_path) -> WorkQueue:
+    return WorkQueue(tmp_path / "queue", lease_seconds=10.0, max_attempts=3)
+
+
+def make_metrics(i: int = 0) -> TrialMetrics:
+    return TrialMetrics(
+        robustness_percent=50.0 + i,
+        fairness_variance=1.0,
+        total_cost=2.0,
+        cost_per_percent_on_time=0.04,
+        completed_on_time=10 + i,
+        total_tasks=40,
+        per_type_completion_percent=(50.0, 60.0),
+    )
+
+
+class TestEnqueue:
+    def test_rows_are_content_addressed(self, queue, point):
+        keys = queue.enqueue_point(point)
+        assert keys == [task_key_for(point, 0), task_key_for(point, 1)]
+        assert all(key.startswith(point.cache_key()) for key in keys)
+
+    def test_enqueue_is_idempotent(self, queue, point):
+        queue.enqueue_point(point)
+        queue.enqueue_point(point)
+        assert queue.status().total == point.config.trials
+
+    def test_done_rows_survive_re_enqueue(self, queue, point):
+        [key, _] = queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        queue.complete(claimed.task_key, "w1", make_metrics())
+        queue.enqueue_point(point)
+        assert queue.status().done == 1
+        assert key in queue.results([key])
+
+
+class TestClaimLifecycle:
+    def test_claim_rebuilds_the_point(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        assert claimed.point == point
+        assert claimed.trial_index == 0  # oldest (enqueue order) first
+        assert claimed.attempts == 1
+
+    def test_each_trial_claimed_once(self, queue, point):
+        queue.enqueue_point(point)
+        first = queue.claim("w1")
+        second = queue.claim("w2")
+        assert {first.trial_index, second.trial_index} == {0, 1}
+        assert queue.claim("w3") is None
+
+    def test_complete_round_trips_metrics_exactly(self, queue, point):
+        [key, _] = queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        metrics = make_metrics()
+        assert queue.complete(claimed.task_key, "w1", metrics)
+        assert queue.results([key]) == {key: metrics}
+
+    def test_complete_by_non_owner_is_ignored(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        assert not queue.complete(claimed.task_key, "imposter", make_metrics())
+        assert queue.status().done == 0
+
+    def test_renew_extends_and_reports_lost_leases(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        assert queue.renew(claimed.task_key, "w1")
+        assert not queue.renew(claimed.task_key, "w2")
+
+
+class TestCrashRecovery:
+    def test_expired_lease_is_claimable_by_a_survivor(self, queue, point):
+        queue.enqueue_point(point)
+        t0 = 1000.0
+        doomed = queue.claim("doomed", now=t0)
+        # Within the lease, the trial is protected.
+        assert queue.claim("survivor", now=t0 + 5.0).task_key != doomed.task_key
+        assert queue.claim("survivor", now=t0 + 5.0) is None
+        # After expiry, the survivor takes it over (second attempt).
+        recovered = queue.claim("survivor", now=t0 + 11.0)
+        assert recovered.task_key == doomed.task_key
+        assert recovered.attempts == 2
+
+    def test_recover_expired_re_enqueues(self, queue, point):
+        queue.enqueue_point(point)
+        t0 = 1000.0
+        queue.claim("doomed", now=t0)
+        assert queue.recover_expired(now=t0 + 5.0) == 0
+        assert queue.recover_expired(now=t0 + 11.0) == 1
+        status = queue.status()
+        assert status.pending == 2 and status.leased == 0
+
+    def test_repeated_crashes_dead_letter_the_trial(self, queue, point):
+        queue.enqueue_point(point)
+        now = 1000.0
+        key = queue.claim("w", now=now).task_key
+        for _ in range(queue.max_attempts - 1):
+            now += queue.lease_seconds + 1.0
+            assert queue.claim("w", now=now).task_key == key
+        # All attempts burned; the next recovery pass declares it dead.
+        now += queue.lease_seconds + 1.0
+        queue.recover_expired(now=now)
+        rows = {t.task_key: t for t in queue.tasks()}
+        assert rows[key].status == "dead"
+        assert "attempts exhausted" in rows[key].error
+        # A dead row is never handed out again (the other trial still is).
+        claimed = queue.claim("w", now=now)
+        assert claimed is not None and claimed.task_key != key
+
+    def test_failed_trial_retries_then_dead_letters(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w")
+        assert queue.fail(claimed.task_key, "w", "boom 1")
+        assert queue.tasks([claimed.task_key])[0].status == "pending"
+        for attempt in range(2, queue.max_attempts + 1):
+            again = queue.claim("w")
+            queue.fail(again.task_key, "w", f"boom {attempt}")
+        # claim() prefers oldest rows, so the same trial came back each time;
+        # after max_attempts failures it must be dead with the last error.
+        row = queue.tasks([claimed.task_key])[0]
+        assert row.status == "dead"
+        assert row.error == f"boom {queue.max_attempts}"
+
+
+class TestMaintenance:
+    def test_requeue_revives_dead_rows_with_fresh_budget(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w")
+        for attempt in range(queue.max_attempts):
+            queue.fail(claimed.task_key, "w", "boom")
+            claimed = queue.claim("w") or claimed
+        assert any(t.status == "dead" for t in queue.tasks())
+        assert queue.requeue(include_dead=True) >= 1
+        rows = queue.tasks()
+        assert all(t.status in ("pending", "leased") for t in rows)
+        assert all(t.error is None for t in rows if t.status == "pending")
+
+    def test_drain(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w")
+        queue.complete(claimed.task_key, "w", make_metrics())
+        assert queue.drain(done_only=True) == 1
+        assert queue.status().total == 1
+        assert queue.drain() == 1
+        assert queue.status().total == 0
+
+    def test_status_reports_worker_heartbeats(self, queue, point):
+        queue.enqueue_point(point)
+        queue.claim("worker-a", now=1000.0)
+        queue.claim("worker-b", now=1000.0)
+        status = queue.status()
+        owners = {lease.owner: lease for lease in status.workers}
+        assert set(owners) == {"worker-a", "worker-b"}
+        assert owners["worker-a"].tasks == 1
+        assert owners["worker-a"].lease_expires_at == 1000.0 + queue.lease_seconds
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="lease_seconds"):
+            WorkQueue(tmp_path, lease_seconds=0.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            WorkQueue(tmp_path, max_attempts=0)
+
+
+class TestWorkerLoop:
+    def test_idle_timeout_exits_an_idle_worker(self, tmp_path):
+        from repro.sweep import run_worker
+
+        lines: list[str] = []
+        executed = run_worker(
+            tmp_path / "queue",
+            poll_interval=0.01,
+            idle_timeout=0.05,
+            log=lines.append,
+        )
+        assert executed == 0
+        assert any("idle" in line for line in lines)
+
+    def test_worker_logs_claims_and_completions(self, tmp_path, point):
+        from repro.sweep import WorkQueue, run_worker
+
+        WorkQueue(tmp_path / "queue").enqueue_point(point)
+        lines: list[str] = []
+        executed = run_worker(
+            tmp_path / "queue",
+            poll_interval=0.01,
+            max_tasks=point.config.trials,
+            log=lines.append,
+        )
+        assert executed == point.config.trials
+        assert any("claimed" in line for line in lines)
+        assert any("max tasks" in line for line in lines)
+
+    def test_failing_trial_is_reported_and_retried(self, tmp_path, point, monkeypatch):
+        from repro.sweep import WorkQueue, run_worker
+        import repro.sweep.executor as executor_module
+
+        queue = WorkQueue(tmp_path / "queue", max_attempts=2)
+        queue.enqueue(point, 0)
+
+        calls = {"n": 0}
+
+        def flaky(p, trial_index):
+            calls["n"] += 1
+            raise ValueError("transient boom")
+
+        monkeypatch.setattr(executor_module, "_execute_point_trial", flaky)
+        lines: list[str] = []
+        executed = run_worker(
+            tmp_path / "queue",
+            poll_interval=0.01,
+            exit_when_empty=True,
+            log=lines.append,
+        )
+        # Both attempts failed; the row is dead-lettered with the traceback.
+        assert executed == 0
+        assert calls["n"] == 2
+        row = queue.tasks()[0]
+        assert row.status == "dead"
+        assert "transient boom" in row.error
+        assert any("failed" in line for line in lines)
+
+
+class TestReleaseRefundsAttempts:
+    def test_release_returns_row_to_pending_without_burning_budget(self, queue, point):
+        queue.enqueue_point(point)
+        claimed = queue.claim("w1")
+        assert queue.release(claimed.task_key, "w1")
+        row = queue.tasks([claimed.task_key])[0]
+        assert row.status == "pending"
+        assert row.attempts == 0  # the abandoned claim was refunded
+        assert not queue.release(claimed.task_key, "w1")  # no longer leased
+
+    def test_interrupted_worker_releases_instead_of_failing(
+        self, tmp_path, point, monkeypatch
+    ):
+        """Ctrl-C'ing a worker mid-trial hands the row back attempt-free, so
+        any number of stop/restart cycles can never dead-letter the trial."""
+        import repro.sweep.executor as executor_module
+        from repro.sweep import run_worker
+
+        queue = WorkQueue(tmp_path / "queue", max_attempts=2)
+        queue.enqueue(point, 0)
+
+        def interrupted(p, trial_index):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(executor_module, "_execute_point_trial", interrupted)
+        for _ in range(queue.max_attempts + 1):  # more restarts than attempts
+            with pytest.raises(KeyboardInterrupt):
+                run_worker(tmp_path / "queue", poll_interval=0.01)
+        row = queue.tasks()[0]
+        assert row.status == "pending"
+        assert row.attempts == 0

@@ -1,0 +1,212 @@
+"""Crash recovery and concurrent-writer safety.
+
+Two failure modes a durable multi-worker sweep must survive:
+
+* a worker SIGKILL'd mid-trial — no cleanup code runs, so the only safety
+  net is the lease: it must expire, the trial must be re-enqueued, and a
+  surviving worker must complete it with bit-identical results;
+* several workers storing into one shared :class:`ResultCache` directory —
+  a reader must never observe a torn artefact (atomic temp-file +
+  ``os.replace`` writes).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.config import ExperimentConfig, workload_for_level
+from repro.sweep import (
+    HeuristicSpec,
+    PETSpec,
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    TrialMetrics,
+    WorkQueue,
+    run_sweep,
+    run_worker,
+    task_key_for,
+)
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+
+#: Claims a trial under a short lease, reports, then hangs until SIGKILL'd —
+#: a stand-in for "worker crashed hard mid-trial" with the real claim path.
+_DOOMED_WORKER = """
+import sys, time
+from repro.sweep import WorkQueue
+
+queue = WorkQueue(sys.argv[1], lease_seconds=float(sys.argv[2]))
+claimed = queue.claim("doomed-worker")
+print("claimed" if claimed is not None else "nothing", flush=True)
+time.sleep(600)
+"""
+
+
+def _make_spec(seed: int = 53) -> SweepSpec:
+    config = ExperimentConfig(
+        trials=2, seed=seed, warmup_tasks=5, cooldown_tasks=5, task_scale=0.1
+    )
+    pet = PETSpec(kind="spec", seed=config.seed)
+    workload = workload_for_level("34k", config)
+    return SweepSpec(
+        points=(
+            SweepPoint(
+                label="MM",
+                pet=pet,
+                heuristic=HeuristicSpec("MM"),
+                workload=workload,
+                config=config,
+            ),
+        )
+    )
+
+
+class TestSigkillRecovery:
+    def test_killed_workers_trial_is_recovered_bit_identically(self, tmp_path):
+        """SIGKILL a worker holding a lease; a survivor finishes the sweep.
+
+        The doomed process claims through the real ``WorkQueue.claim`` path
+        (so a genuine lease is held by a genuinely dead process), gets
+        SIGKILL'd, and after lease expiry an in-process surviving worker
+        must re-claim and complete everything — with results bit-identical
+        (atol=0) to a ``jobs=1`` run of the same spec.
+        """
+        spec = _make_spec()
+        serial = run_sweep(spec, jobs=1)
+        queue_dir = tmp_path / "queue"
+        lease_seconds = 1.0
+        queue = WorkQueue(queue_dir, lease_seconds=lease_seconds)
+        for point in spec.points:
+            queue.enqueue_point(point)
+
+        env = {**os.environ, "PYTHONPATH": SRC_ROOT + os.pathsep + os.environ.get("PYTHONPATH", "")}
+        doomed = subprocess.Popen(
+            [sys.executable, "-c", _DOOMED_WORKER, str(queue_dir), str(lease_seconds)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert doomed.stdout.readline().strip() == "claimed"
+            status = queue.status()
+            assert status.leased == 1
+            assert status.workers[0].owner == "doomed-worker"
+            os.kill(doomed.pid, signal.SIGKILL)
+            doomed.wait(timeout=30)
+        finally:
+            if doomed.poll() is None:  # pragma: no cover - cleanup on failure
+                doomed.kill()
+
+        # The lease outlives the killed process (SIGKILL runs no cleanup);
+        # poll until expiry hands the trial back.  claim() leases rows
+        # oldest-first, so the doomed worker held trial 0.
+        doomed_key = task_key_for(spec.points[0], 0)
+        deadline = time.time() + 30.0
+        while queue.recover_expired() == 0:
+            assert time.time() < deadline, "expired lease was never recovered"
+            time.sleep(0.1)
+        row = queue.tasks([doomed_key])[0]
+        assert row.status == "pending"
+        assert row.attempts == 1  # the doomed claim stays on the books
+
+        # A surviving worker settles the whole queue, re-running the
+        # recovered trial as its second attempt.
+        executed = run_worker(
+            queue_dir,
+            poll_interval=0.02,
+            lease_seconds=30.0,
+            exit_when_empty=True,
+        )
+        assert executed == spec.total_trials
+        assert queue.status().done == spec.total_trials
+        assert queue.tasks([doomed_key])[0].attempts == 2
+
+        # Re-claimed trials count a second attempt; results stay the same.
+        keys = [task_key_for(spec.points[0], t) for t in range(spec.total_trials)]
+        results = queue.results(keys)
+        merged = [results[key] for key in keys]
+        assert merged == serial.trials_per_point[0]
+
+        # And a frontend sweep over the settled queue merges identically.
+        outcome = run_sweep(spec, backend="queue", queue_dir=queue_dir, queue_workers=0)
+        assert outcome.trials_per_point == serial.trials_per_point
+
+
+def _hammer_store(root: str, seed: int, rounds: int) -> None:
+    """Writer process: repeatedly store one point's trials into the cache.
+
+    Fake deterministic metrics — concurrent-writer safety is about file
+    integrity, not simulation output.
+    """
+    spec = _make_spec(seed)
+    point = spec.points[0]
+    trials = [
+        TrialMetrics(
+            robustness_percent=50.0,
+            fairness_variance=1.0,
+            total_cost=2.0,
+            cost_per_percent_on_time=0.04,
+            completed_on_time=10,
+            total_tasks=40,
+            per_type_completion_percent=(50.0, 60.0),
+        )
+        for _ in range(point.config.trials)
+    ]
+    cache = ResultCache(Path(root))
+    for _ in range(rounds):
+        cache.store(point, trials)
+
+
+class TestConcurrentCacheWriters:
+    def test_readers_never_observe_a_torn_artefact(self, tmp_path):
+        """Several processes rewrite one artefact while we parse it in a loop.
+
+        ``ResultCache.store`` goes through a same-directory temp file and
+        ``os.replace``, so every read must see either the old or the new
+        complete JSON — a partial file here would poison whole sweeps.
+        """
+        seed = 61
+        spec = _make_spec(seed)
+        point = spec.points[0]
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(point)
+
+        writers = [
+            multiprocessing.Process(target=_hammer_store, args=(str(tmp_path), seed, 40))
+            for _ in range(3)
+        ]
+        for writer in writers:
+            writer.start()
+        try:
+            reads = 0
+            deadline = time.time() + 120.0
+            while any(w.is_alive() for w in writers) or reads == 0:
+                assert time.time() < deadline, "writers never produced an artefact"
+                if path.exists():
+                    payload = json.loads(path.read_text())  # torn JSON would raise
+                    assert len(payload["trials"]) == point.config.trials
+                    reads += 1
+        finally:
+            for writer in writers:
+                writer.join(timeout=60)
+        assert reads > 0
+        assert all(w.exitcode == 0 for w in writers)
+        # Every temp file was either renamed into place or cleaned up.
+        assert list(tmp_path.rglob("*.tmp")) == []
+        # And the surviving artefact is a perfectly valid cache hit.
+        assert cache.load(point) is not None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -110,3 +110,41 @@ class TestTrialMetricsPayload:
         trial = make_trials(1)[0]
         rehydrated = TrialMetrics.from_payload(json.loads(json.dumps(trial.to_payload())))
         assert rehydrated == trial
+
+
+class TestCacheMaintenance:
+    def test_entries_flag_corrupt_artefacts(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        good = cache.store(point, make_trials(2))
+        bad = tmp_path / "ab" / "deadbeef.json"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("{ torn mid-write")
+        entries = {e.key: e for e in cache.entries()}
+        assert entries[good.stem].readable
+        assert entries[good.stem].label == "demo"
+        assert entries[good.stem].trials == 2
+        assert not entries["deadbeef"].readable
+
+    def test_disk_stats_and_gc(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        path = cache.store(point, make_trials(2))
+        bad = tmp_path / "ab" / "deadbeef.json"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("{ torn mid-write")
+
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2
+        assert stats["corrupt"] == 1
+        assert stats["bytes"] > 0
+        [(version, count)] = stats["kernel_versions"].items()
+        assert count == 1
+
+        # GC keeping the current version drops only the corrupt file...
+        removed, _ = cache.gc(keep_kernel_version=version)
+        assert removed == 1
+        assert path.exists() and not bad.exists()
+        # ...and keeping a different version drops everything else.
+        removed, removed_bytes = cache.gc(keep_kernel_version="v-next")
+        assert removed == 1 and removed_bytes > 0
+        assert not path.exists()
+        assert cache.disk_stats()["entries"] == 0

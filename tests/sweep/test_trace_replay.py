@@ -226,10 +226,7 @@ class TestFig9FromReferenceTrace:
         monkeypatch.setattr(executor_module, "execute_point", boom)
         monkeypatch.setattr(executor_module, "_execute_point_trial", boom)
         monkeypatch.setattr(
-            executor_module.ParallelExecutor, "_run_serial", boom
-        )
-        monkeypatch.setattr(
-            executor_module.ParallelExecutor, "_run_parallel", boom
+            executor_module.ParallelExecutor, "_run_pending", boom
         )
         second = run_fig9(config, trace=REFERENCE_TRACE, cache_dir=cache_dir)
         assert second.robustness(TRACE_LEVEL_LABEL, "PAMF") == first.robustness(

@@ -324,3 +324,147 @@ class TestTraceCommand:
         trace_file.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="task 2: missing field 'deadline'"):
             main(["trace", "inspect", str(trace_file)])
+
+
+class TestWorkerAndQueueCommands:
+    def test_parser_accepts_backend_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "4", "--backend", "queue", "--queue-dir", "q/", "--queue-workers", "2"]
+        )
+        assert args.backend == "queue"
+        assert args.queue_dir == "q/"
+        assert args.queue_workers == 2
+
+    def test_backend_defaults_to_process(self):
+        args = build_parser().parse_args(["sweep", "4"])
+        assert args.backend == "process"
+        assert args.queue_dir is None
+        assert args.queue_workers is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "4", "--backend", "rpc"])
+
+    def test_queue_backend_requires_queue_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="--queue-dir"):
+            main(["sweep", "4", "--backend", "queue", "--trials", "1"])
+        with pytest.raises(SystemExit, match="--queue-dir"):
+            main(
+                [
+                    "trace",
+                    "replay",
+                    "examples/transcoding_660.trace.json",
+                    "--backend",
+                    "queue",
+                ]
+            )
+
+    def test_worker_exits_when_queue_is_empty(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "worker",
+                "--queue-dir",
+                str(tmp_path / "queue"),
+                "--exit-when-empty",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert "executed 0 trial(s)" in capsys.readouterr().out
+
+    def test_queue_status_requeue_drain_round_trip(self, tmp_path, capsys):
+        from repro.experiments.config import ExperimentConfig
+        from repro.sweep import HeuristicSpec, PETSpec, SweepPoint, WorkQueue
+        from repro.workload.generator import WorkloadConfig
+
+        queue_dir = tmp_path / "queue"
+        queue = WorkQueue(queue_dir)
+        config = ExperimentConfig(trials=2, seed=5)
+        point = SweepPoint(
+            label="demo",
+            pet=PETSpec(kind="spec", seed=5),
+            heuristic=HeuristicSpec(name="MM"),
+            workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+            config=config,
+        )
+        queue.enqueue_point(point)
+        queue.claim("cli-worker")
+
+        assert main(["queue", "status", "--queue-dir", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pending | 1" in out
+        assert "leased  | 1" in out
+        assert "cli-worker" in out
+
+        assert main(["queue", "requeue", "--queue-dir", str(queue_dir)]) == 0
+        assert "requeued 0 trial(s)" in capsys.readouterr().out
+
+        assert main(["queue", "drain", "--queue-dir", str(queue_dir)]) == 0
+        assert "drained 2" in capsys.readouterr().out
+        assert queue.status().total == 0
+
+
+class TestCacheCommands:
+    @staticmethod
+    def _store_artefact(cache_dir, seed=5):
+        from repro.experiments.config import ExperimentConfig
+        from repro.sweep import HeuristicSpec, PETSpec, ResultCache, SweepPoint, TrialMetrics
+        from repro.workload.generator import WorkloadConfig
+
+        point = SweepPoint(
+            label="demo",
+            pet=PETSpec(kind="spec", seed=seed),
+            heuristic=HeuristicSpec(name="MM"),
+            workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+            config=ExperimentConfig(trials=1, seed=seed),
+        )
+        trials = [
+            TrialMetrics(
+                robustness_percent=50.0,
+                fairness_variance=1.0,
+                total_cost=2.0,
+                cost_per_percent_on_time=0.04,
+                completed_on_time=10,
+                total_tasks=40,
+                per_type_completion_percent=(50.0,),
+            )
+        ]
+        return ResultCache(cache_dir).store(point, trials)
+
+    def test_cache_stats_reports_kernel_versions(self, tmp_path, capsys):
+        from repro.core.batch import KERNEL_VERSION
+
+        self._store_artefact(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries            : 1" in out
+        assert str(KERNEL_VERSION) in out
+        assert "current" in out
+
+    def test_cache_gc_drops_stale_kernel_versions(self, tmp_path, capsys):
+        path = self._store_artefact(tmp_path)
+        # Current-version artefacts survive a default gc...
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 0 artefact(s)" in capsys.readouterr().out
+        assert path.exists()
+        # ...a dry run against another version reports but keeps them...
+        assert (
+            main(
+                [
+                    "cache", "gc", "--cache-dir", str(tmp_path),
+                    "--kernel-version", "v-next", "--dry-run",
+                ]
+            )
+            == 0
+        )
+        assert "would remove 1 artefact(s)" in capsys.readouterr().out
+        assert path.exists()
+        # ...and a real gc against another version drops them.
+        assert (
+            main(
+                ["cache", "gc", "--cache-dir", str(tmp_path), "--kernel-version", "v-next"]
+            )
+            == 0
+        )
+        assert "removed 1 artefact(s)" in capsys.readouterr().out
+        assert not path.exists()
