@@ -1,0 +1,48 @@
+"""Machine-readable perf artefacts for the benchmark gates.
+
+The micro-benchmark acceptance gates measure their speedup ratios anyway
+(batched vs scalar scoring, incremental vs rebuilt ``SystemState``); this
+module dumps those measurements into ``BENCH_micro.json`` at the repo root
+so CI can upload them and runs can be compared across commits, instead of
+the numbers living only in a transient pytest report.
+
+The file is merged-in-place: each gate owns one key under ``benchmarks``,
+so partial runs (``pytest benchmarks/test_bench_micro.py -k batched``)
+refresh only their own entry.  Point ``REPRO_BENCH_MICRO`` somewhere else
+to redirect the artefact (CI workspaces, scratch dirs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["BENCH_MICRO_PATH", "record_bench"]
+
+BENCH_MICRO_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_MICRO", Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+    )
+)
+
+
+def record_bench(name: str, payload: dict, *, path: str | Path | None = None) -> Path:
+    """Merge one gate's measurements into the shared JSON artefact."""
+    path = BENCH_MICRO_PATH if path is None else Path(path)
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except ValueError:
+            loaded = None
+        if isinstance(loaded, dict):
+            data = loaded
+    data["schema"] = 1
+    data.setdefault("benchmarks", {})
+    if not isinstance(data["benchmarks"], dict):
+        data["benchmarks"] = {}
+    data["benchmarks"][name] = payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 import pytest
+from _artefacts import record_bench
 
 from repro.core.batch import PMFBatch, batched_success_probability
 from repro.core.completion import DroppingPolicy, queue_completion_pmfs
@@ -156,6 +157,15 @@ def test_bench_batched_mapping_event_scoring(benchmark, spec_pet):
     benchmark.extra_info["scalar_ms"] = round(scalar_seconds * 1e3, 3)
     benchmark.extra_info["batched_ms"] = round(batched_seconds * 1e3, 3)
     benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
+    record_bench(
+        "batched_mapping_event_scoring",
+        {
+            "scalar_ms": round(scalar_seconds * 1e3, 3),
+            "batched_ms": round(batched_seconds * 1e3, 3),
+            "speedup_vs_scalar": round(speedup, 2),
+            "gate": 3.0,
+        },
+    )
     assert speedup >= 3.0, f"batched scoring only {speedup:.2f}x faster than scalar"
 
 
@@ -254,6 +264,15 @@ def test_bench_incremental_system_state(benchmark, spec_pet):
     benchmark.extra_info["rebuild_ms"] = round(rebuild_seconds * 1e3, 3)
     benchmark.extra_info["incremental_ms"] = round(incremental_seconds * 1e3, 3)
     benchmark.extra_info["speedup_vs_rebuild"] = round(speedup, 2)
+    record_bench(
+        "incremental_system_state",
+        {
+            "rebuild_ms": round(rebuild_seconds * 1e3, 3),
+            "incremental_ms": round(incremental_seconds * 1e3, 3),
+            "speedup_vs_rebuild": round(speedup, 2),
+            "gate": 2.0,
+        },
+    )
     assert speedup >= 2.0, (
         f"incremental SystemState only {speedup:.2f}x faster than the rebuild path"
     )

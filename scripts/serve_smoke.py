@@ -1,0 +1,88 @@
+"""CI smoke test for the online scheduler service.
+
+Starts a :class:`~repro.serve.service.SchedulerService` on a scratch Unix
+socket, replays the first 50 tasks of the reference transcoding trace into
+it at 10x arrival speed, and asserts that
+
+* the streamed decision outcomes are bit-identical to an offline
+  :meth:`HCSimulator.run` replay of the same slice (same mapping, same
+  drop set, same on-time flags — atol=0), and
+* the measured admission latencies are finite (a p99 exists and is a real
+  number, i.e. the service actually timed every first decision).
+
+A small ``BENCH_serve.json`` is written as a CI artefact.
+
+Usage::
+
+    python scripts/serve_smoke.py [--tasks N] [--rate R] [--out FILE]
+
+Exit status 1 (with the first divergence) on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.heuristics import make_heuristic  # noqa: E402
+from repro.pet.builders import build_transcoding_pet  # noqa: E402
+from repro.serve import run_bench, slice_trace  # noqa: E402
+from repro.workload.traces import load_trace  # noqa: E402
+
+REFERENCE_TRACE = Path(__file__).resolve().parent.parent / "examples" / "transcoding_660.trace.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=50, help="trace tasks to replay")
+    parser.add_argument("--rate", type=float, default=10.0, help="arrival-rate multiplier")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--out", default="BENCH_serve.json", help="bench artefact path")
+    args = parser.parse_args(argv)
+
+    trace = slice_trace(load_trace(REFERENCE_TRACE), args.tasks)
+    pet = build_transcoding_pet(rng=2019)
+
+    def heuristic_factory():
+        return make_heuristic("PAMF", num_task_types=pet.num_task_types)
+
+    print(f"serve smoke: {len(trace)} tasks at {args.rate:g}x vs offline replay")
+    try:
+        report = run_bench(
+            pet,
+            heuristic_factory,
+            trace,
+            heuristic_name="PAMF",
+            pet_kind="transcoding",
+            seed=args.seed,
+            rates=(args.rate,),
+            check_offline=True,
+            out_path=args.out,
+            progress=lambda message: print(f"  {message}"),
+        )
+    except RuntimeError as exc:
+        print(f"MISMATCH: {exc}", file=sys.stderr)
+        return 1
+
+    if report.equivalent_to_offline is not True:
+        print("MISMATCH: equivalence flag not set", file=sys.stderr)
+        return 1
+    rate = report.rates[0]
+    if not math.isfinite(rate.p99_ms):
+        print(f"BAD LATENCY: p99 is {rate.p99_ms!r}", file=sys.stderr)
+        return 1
+    print(
+        f"  {rate.decisions} decisions in {rate.wall_seconds:.3f}s "
+        f"({rate.decisions_per_sec:.0f}/s), admission p50 {rate.p50_ms:.2f}ms "
+        f"p99 {rate.p99_ms:.2f}ms, drop rate {100 * rate.drop_rate:.1f}%"
+    )
+    print(f"OK: decision stream bit-identical to offline replay; wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Seven subcommands cover the common workflows:
+Eight subcommands cover the common workflows:
 
 ``simulate``
     Run one workload trial with a chosen heuristic and print the headline
@@ -40,6 +40,14 @@ Seven subcommands cover the common workflows:
     Observe and maintain a result cache: ``stats`` (entries, bytes, kernel
     versions) and ``gc`` (drop artefacts from stale kernel versions).
 
+``serve``
+    The online scheduler service: ``run`` hosts the admission loop on a
+    local Unix socket until interrupted, ``submit`` replays a recorded
+    trace (or a single task) into a running service and prints the
+    streamed decisions, and ``bench`` drives a fresh service at several
+    arrival-rate multipliers, checks the decision stream against an
+    offline replay, and writes the ``BENCH_serve.json`` artefact.
+
 Examples::
 
     python -m repro.cli simulate --heuristic PAM --tasks 500 --span 2500
@@ -55,6 +63,11 @@ Examples::
     python -m repro.cli trace inspect examples/transcoding_660.trace.json
     python -m repro.cli trace replay examples/transcoding_660.trace.json \
         --heuristics PAMF MM --jobs 4 --cache-dir results/cache
+    python -m repro.cli serve run --socket /tmp/repro-serve.sock
+    python -m repro.cli serve submit --socket /tmp/repro-serve.sock \
+        --trace examples/transcoding_660.trace.json --tasks 50 --rate 10
+    python -m repro.cli serve bench --trace examples/transcoding_660.trace.json \
+        --rates 10 100 1000 --out BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -304,6 +317,108 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arguments(replay)
     replay.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress on stderr"
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="online scheduler service: host it, feed it, or benchmark it"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="host the admission service on a local socket until interrupted"
+    )
+    serve_run.add_argument(
+        "--socket", required=True, help="Unix socket path to serve on (created, removed on exit)"
+    )
+    serve_run.add_argument(
+        "--pet",
+        choices=("spec", "transcoding"),
+        default="transcoding",
+        help="PET matrix / system submitted task types index into",
+    )
+    serve_run.add_argument(
+        "--heuristic", choices=sorted(HEURISTIC_NAMES), default="PAMF",
+        help="mapping heuristic the admission loop runs",
+    )
+    serve_run.add_argument("--seed", type=int, default=2019)
+    serve_run.add_argument(
+        "--drain-grace",
+        type=_positive_float,
+        default=5.0,
+        help="seconds to let in-flight submissions drain on shutdown",
+    )
+
+    serve_submit = serve_sub.add_parser(
+        "submit",
+        help="replay a recorded trace (or one task) into a running service "
+        "and print the streamed decisions",
+    )
+    serve_submit.add_argument("--socket", required=True, help="socket of a running 'serve run'")
+    source = serve_submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help="recorded trace file to replay")
+    source.add_argument(
+        "--task",
+        nargs=4,
+        type=int,
+        metavar=("ID", "TYPE", "ARRIVAL", "DEADLINE"),
+        help="submit a single task instead of a trace",
+    )
+    serve_submit.add_argument(
+        "--tasks", type=_positive_int, default=None, help="replay only the first N trace tasks"
+    )
+    serve_submit.add_argument(
+        "--rate", type=_positive_float, default=10.0, help="arrival-rate multiplier"
+    )
+    serve_submit.add_argument(
+        "--time-unit",
+        type=_positive_float,
+        default=None,
+        help="wall seconds one trace time unit spans at 1x (default 0.01)",
+    )
+    serve_submit.add_argument(
+        "--close",
+        action="store_true",
+        help="finalise the run after submitting (otherwise just flush pending decisions)",
+    )
+
+    serve_bench = serve_sub.add_parser(
+        "bench",
+        help="load-generator benchmark: replay a trace at several arrival "
+        "rates, verify against offline replay, write BENCH_serve.json",
+    )
+    serve_bench.add_argument(
+        "--trace",
+        default="examples/transcoding_660.trace.json",
+        help="recorded trace file to replay",
+    )
+    serve_bench.add_argument(
+        "--tasks", type=_positive_int, default=None, help="bench only the first N trace tasks"
+    )
+    serve_bench.add_argument(
+        "--rates",
+        nargs="+",
+        type=_positive_float,
+        default=[10.0, 100.0, 1000.0],
+        help="arrival-rate multipliers to sweep",
+    )
+    serve_bench.add_argument(
+        "--heuristic", choices=sorted(HEURISTIC_NAMES), default="PAMF"
+    )
+    serve_bench.add_argument("--pet", choices=("spec", "transcoding"), default="transcoding")
+    serve_bench.add_argument("--seed", type=int, default=2019)
+    serve_bench.add_argument(
+        "--time-unit",
+        type=_positive_float,
+        default=None,
+        help="wall seconds one trace time unit spans at 1x (default 0.01)",
+    )
+    serve_bench.add_argument(
+        "--out", default="BENCH_serve.json", help="write the JSON bench report here"
+    )
+    serve_bench.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the offline replay-equivalence check",
     )
 
     return parser
@@ -647,6 +762,151 @@ def _command_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
+def _serve_pet(args: argparse.Namespace):
+    return build_spec_pet(rng=args.seed) if args.pet == "spec" else build_transcoding_pet(rng=args.seed)
+
+
+def _command_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from .serve import SchedulerCore, SchedulerService
+
+    pet = _serve_pet(args)
+    heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
+
+    async def host() -> dict:
+        core = SchedulerCore(pet, heuristic, rng=args.seed + 2)
+        service = SchedulerService(core, args.socket, drain_grace=args.drain_grace)
+        await service.start()
+        print(
+            f"serving {args.heuristic} on {service.socket_path} — Ctrl-C to stop",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, interrupted.set)
+        stopper = asyncio.create_task(interrupted.wait(), name="repro-serve-signal")
+        stopped = asyncio.create_task(service.wait_stopped(), name="repro-serve-stopped")
+        try:
+            # Until Ctrl-C, or until a client's `close` shuts the service down.
+            await asyncio.wait({stopper, stopped}, return_when=asyncio.FIRST_COMPLETED)
+            await service.stop(drain=True)
+        finally:
+            for task in (stopper, stopped):
+                task.cancel()
+            await asyncio.gather(stopper, stopped, return_exceptions=True)
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+        return core.metrics.snapshot()
+
+    snapshot = asyncio.run(host())
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+def _command_serve_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve import replay_trace
+    from .serve.loadgen import DEFAULT_TIME_UNIT_SECONDS
+    from .workload.spec import TaskSpec
+
+    if args.task is not None:
+        task_id, task_type, arrival, deadline = args.task
+        specs: list = [
+            TaskSpec(arrival=arrival, task_id=task_id, task_type=task_type, deadline=deadline)
+        ]
+    else:
+        from .serve import slice_trace
+
+        specs = slice_trace(load_trace(args.trace), args.tasks)
+    time_unit = args.time_unit if args.time_unit is not None else DEFAULT_TIME_UNIT_SECONDS
+    outcome = asyncio.run(
+        replay_trace(
+            args.socket,
+            specs,
+            rate=args.rate,
+            time_unit_seconds=time_unit,
+            close=args.close,
+            progress=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+    )
+    for event in outcome.decisions:
+        print(json.dumps(event, separators=(",", ":")))
+    print(
+        f"submitted {outcome.submitted} task(s), received {len(outcome.decisions)} "
+        f"decision(s) in {outcome.wall_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    if outcome.closed is not None:
+        summary = outcome.closed["summary"]
+        print(
+            f"run closed: robustness {summary['robustness_percent']:.2f}% on time",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import run_bench, slice_trace
+    from .serve.loadgen import DEFAULT_TIME_UNIT_SECONDS
+    from .utils.tables import format_table
+
+    pet = _serve_pet(args)
+    trace = slice_trace(load_trace(args.trace), args.tasks)
+
+    def heuristic_factory():
+        return make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
+
+    report = run_bench(
+        pet,
+        heuristic_factory,
+        trace,
+        heuristic_name=args.heuristic,
+        pet_kind=args.pet,
+        seed=args.seed + 2,
+        rates=tuple(args.rates),
+        time_unit_seconds=(
+            args.time_unit if args.time_unit is not None else DEFAULT_TIME_UNIT_SECONDS
+        ),
+        check_offline=not args.no_check,
+        out_path=args.out,
+        progress=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    headers = ["rate", "decisions/s", "p50 ms", "p95 ms", "p99 ms", "drop %"]
+    rows = [
+        [
+            f"{rate.multiplier:g}x",
+            f"{rate.decisions_per_sec:.0f}",
+            f"{rate.p50_ms:.2f}",
+            f"{rate.p95_ms:.2f}",
+            f"{rate.p99_ms:.2f}",
+            f"{100.0 * rate.drop_rate:.1f}",
+        ]
+        for rate in report.rates
+    ]
+    print(format_table(headers, rows))
+    if report.equivalent_to_offline is not None:
+        print(f"replay-equivalent to offline run: {report.equivalent_to_offline}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "run":
+        return _command_serve_run(args)
+    if args.serve_command == "submit":
+        return _command_serve_submit(args)
+    if args.serve_command == "bench":
+        return _command_serve_bench(args)
+    raise AssertionError(f"unhandled serve command {args.serve_command!r}")  # pragma: no cover
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "record":
         return _command_trace_record(args)
@@ -673,6 +933,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_queue(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,93 @@
+"""Counters and latency histograms for the scheduler service.
+
+:class:`ServiceMetrics` is deliberately dependency-free and synchronous —
+the admission loop updates it inline, and ``stats`` requests serialise a
+snapshot.  The latency histogram keeps every recorded sample (admission
+volumes are task-scale, not packet-scale) so percentiles are exact, plus
+log-spaced bucket counts for a compact rendered distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Upper edges (seconds) of the rendered log-spaced buckets: 0.1 ms .. 100 s.
+_BUCKET_EDGES = tuple(10.0 ** (exp / 2.0) for exp in range(-8, 5))
+
+
+@dataclass
+class LatencyHistogram:
+    """Latency samples with exact percentiles and log-bucket counts."""
+
+    samples: list[float] = field(default_factory=list)
+    buckets: dict[float, int] = field(default_factory=dict)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0 or not math.isfinite(seconds):
+            raise ValueError(f"latency must be finite and non-negative, got {seconds!r}")
+        self.samples.append(float(seconds))
+        for edge in _BUCKET_EDGES:
+            if seconds <= edge:
+                self.buckets[edge] = self.buckets.get(edge, 0) + 1
+                break
+        else:
+            self.buckets[math.inf] = self.buckets.get(math.inf, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank); ``nan`` with no samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        """Headline latency figures in seconds (nan-valued when empty)."""
+        if not self.samples:
+            nan = float("nan")
+            return {"count": 0, "mean_s": nan, "p50_s": nan, "p95_s": nan, "p99_s": nan, "max_s": nan}
+        return {
+            "count": len(self.samples),
+            "mean_s": sum(self.samples) / len(self.samples),
+            "p50_s": self.percentile(50.0),
+            "p95_s": self.percentile(95.0),
+            "p99_s": self.percentile(99.0),
+            "max_s": max(self.samples),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate counters and histograms of one scheduler-service lifetime."""
+
+    submitted: int = 0
+    rejected: int = 0
+    assigned: int = 0
+    completed: int = 0
+    dropped: int = 0
+    decisions: int = 0
+    mapping_events: int = 0
+    #: Wall seconds from a task's submission to its *first* decision
+    #: (assignment or terminal event), the service's admission latency.
+    admission: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable copy of every counter plus latency summary."""
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "assigned": self.assigned,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "decisions": self.decisions,
+            "mapping_events": self.mapping_events,
+            "admission_latency": self.admission.summary(),
+        }

@@ -1,0 +1,121 @@
+"""JSON-lines wire format of the scheduler service.
+
+One request or event per line, UTF-8 JSON with a mandatory discriminator:
+requests carry ``op`` (``submit``, ``flush``, ``stats``, ``close``), events
+carry ``event`` (``accepted``, ``decision``, ``flushed``, ``stats``,
+``closed``, ``error``).  The format is line-oriented so any language — or
+``socat`` in a terminal — can drive the service.
+
+Task payloads mirror the recorded-trace schema
+(:mod:`repro.workload.traces`): integral ``task_id``/``task_type``/
+``arrival``/``deadline``, validated strictly on receipt so a malformed
+submission is answered with an ``error`` event instead of corrupting the
+live system.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Mapping
+
+from ..workload.spec import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .service import Decision
+
+__all__ = [
+    "decode_line",
+    "encode_line",
+    "spec_from_payload",
+    "spec_to_payload",
+    "decision_to_payload",
+]
+
+#: Fields every submitted task must carry (the recorded-trace field set).
+_TASK_FIELDS = ("task_id", "task_type", "arrival", "deadline")
+
+
+def encode_line(payload: Mapping) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one wire line into a payload dict.
+
+    Raises
+    ------
+    ValueError
+        If the line is not a JSON object.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("wire lines must be JSON objects")
+    return payload
+
+
+def spec_to_payload(spec: TaskSpec) -> dict[str, int]:
+    """Serialise one task spec for a ``submit`` request."""
+    return {
+        "task_id": spec.task_id,
+        "task_type": spec.task_type,
+        "arrival": spec.arrival,
+        "deadline": spec.deadline,
+    }
+
+
+def spec_from_payload(payload: Mapping) -> TaskSpec:
+    """Validate and rebuild a submitted task.
+
+    Mirrors the strict recorded-trace loader: every field must be present,
+    numeric, finite, and integral, and :class:`TaskSpec` enforces the
+    arrival/deadline ordering — errors name the offending field.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("task payload must be an object")
+    values: dict[str, int] = {}
+    for name in _TASK_FIELDS:
+        try:
+            raw = payload[name]
+        except (KeyError, TypeError):
+            raise ValueError(f"task payload is missing field {name!r}") from None
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise ValueError(f"task field {name!r} must be a number, got {raw!r}")
+        number = float(raw)
+        if not math.isfinite(number) or number != int(number):
+            raise ValueError(f"task field {name!r} must be an integer, got {raw!r}")
+        values[name] = int(number)
+    try:
+        return TaskSpec(
+            arrival=values["arrival"],
+            task_id=values["task_id"],
+            task_type=values["task_type"],
+            deadline=values["deadline"],
+        )
+    except ValueError as exc:
+        raise ValueError(str(exc)) from None
+
+
+def decision_to_payload(decision: "Decision") -> dict[str, object]:
+    """Serialise one streamed decision event."""
+    payload: dict[str, object] = {
+        "event": "decision",
+        "seq": decision.seq,
+        "task_id": decision.task_id,
+        "action": decision.action,
+        "time": decision.time,
+        "latency_s": decision.latency_s,
+    }
+    if decision.machine is not None:
+        payload["machine"] = decision.machine
+    if decision.reason is not None:
+        payload["reason"] = decision.reason
+    if decision.on_time is not None:
+        payload["on_time"] = decision.on_time
+    return payload

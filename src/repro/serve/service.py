@@ -1,0 +1,498 @@
+"""The online scheduler service: admission core plus asyncio socket server.
+
+Two layers, deliberately separable:
+
+:class:`SchedulerCore`
+    Synchronous, externally-clocked admission engine.  ``submit()`` is the
+    in-process API: it advances the simulator's virtual clock to the
+    submission watermark, injects the task, and returns every decision the
+    engine produced on the way.  Virtual time comes from the submissions
+    themselves (each carries its arrival instant), so wall-clock pacing
+    never influences decisions — the property the replay-equivalence suite
+    pins: streaming a trace in arrival order yields decisions bit-identical
+    to an offline :meth:`HCSimulator.run` of the same trace.
+
+:class:`SchedulerService`
+    The asyncio layer: a Unix-socket JSON-lines server whose single
+    admission loop serialises all client submissions into the core and
+    streams decision events back to every connected client.  Graceful
+    shutdown drains in-flight submissions, closes the socket, and leaves no
+    orphaned tasks.
+
+Watermark semantics: when a submission carries arrival time ``t`` the core
+first processes every pending event *strictly before* ``t``, then holds the
+time-``t`` batch open — later submissions with the same arrival instant
+still join the same mapping event, exactly as they would in batch replay.
+``flush()`` force-processes the held instant; ``close()`` drains everything
+and finalises the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..pet.matrix import PETMatrix
+from ..simulator.engine import HCSimulator, MappingHeuristicProtocol, SimulatorConfig
+from ..simulator.mapping import MappingDecision
+from ..simulator.metrics import SimulationResult
+from ..simulator.task import Task, TaskStatus
+from ..workload.spec import TaskSpec
+from .metrics import ServiceMetrics
+from .protocol import decision_to_payload, decode_line, encode_line, spec_from_payload
+
+__all__ = [
+    "Decision",
+    "SchedulerCore",
+    "SchedulerService",
+    "decision_map",
+    "offline_decision_map",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One streamed decision event concerning one task."""
+
+    #: Monotone per-service sequence number (stream order).
+    seq: int
+    task_id: int
+    #: ``assigned`` | ``completed`` | ``dropped``.
+    action: str
+    #: Virtual (trace) time the decision happened at.
+    time: int
+    #: Wall seconds from the task's submission to this event.
+    latency_s: float
+    #: Machine index, for ``assigned`` events.
+    machine: int | None = None
+    #: Drop reason, for ``dropped`` events.
+    reason: str | None = None
+    #: Deadline outcome, for ``completed`` events.
+    on_time: bool | None = None
+
+
+class SchedulerCore:
+    """Synchronous admission engine over a streaming :class:`HCSimulator`."""
+
+    def __init__(
+        self,
+        pet: PETMatrix,
+        heuristic: MappingHeuristicProtocol,
+        *,
+        config: SimulatorConfig | None = None,
+        machine_prices: Sequence[float] | None = None,
+        rng: np.random.Generator | int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sim = HCSimulator(
+            pet, heuristic, config=config, machine_prices=machine_prices, rng=rng
+        )
+        self._sim.observer = self
+        self._clock = clock
+        self.metrics = ServiceMetrics()
+        self._pending: list[Decision] = []
+        self._submit_wall: dict[int, float] = {}
+        self._first_decided: set[int] = set()
+        self._watermark: int | None = None
+        self._seq = 0
+        self._closed = False
+        self._result: SimulationResult | None = None
+        self._sim.begin_stream()
+
+    # ------------------------------------------------------------------
+    # Admission API (the in-process ``submit()`` surface).
+    # ------------------------------------------------------------------
+    def submit(self, spec: TaskSpec, *, received: float | None = None) -> list[Decision]:
+        """Admit one task; returns the decisions its arrival unlocked.
+
+        ``received`` is the wall instant the submission entered the service
+        (defaults to now) — the anchor of the task's admission latency.
+
+        Raises
+        ------
+        RuntimeError
+            If the service is already closed.
+        ValueError
+            If the task duplicates an id or arrives before the processed
+            virtual-time frontier (a "late" submission).  Rejections are
+            counted in :attr:`metrics` and leave the live system untouched.
+        """
+        if self._closed:
+            raise RuntimeError("the scheduler service is closed")
+        received = self._clock() if received is None else received
+        if self._watermark is not None and spec.arrival > self._watermark:
+            # A later instant: every pending event before it is now safe to
+            # process — no future submission may precede this arrival.
+            self._sim.advance_until(spec.arrival)
+        try:
+            self._sim.inject_task(spec)
+        except ValueError:
+            self.metrics.rejected += 1
+            raise
+        self._submit_wall[spec.task_id] = received
+        if self._watermark is None or spec.arrival > self._watermark:
+            self._watermark = spec.arrival
+        self.metrics.submitted += 1
+        return self._drain()
+
+    def flush(self) -> list[Decision]:
+        """Force-process the held watermark instant (end-of-burst)."""
+        if self._closed:
+            raise RuntimeError("the scheduler service is closed")
+        if self._watermark is not None:
+            self._sim.advance_until(self._watermark + 1)
+        return self._drain()
+
+    def close(self) -> list[Decision]:
+        """Drain all remaining virtual time and finalise the run."""
+        if self._closed:
+            raise RuntimeError("the scheduler service is closed")
+        self._result = self._sim.finish_stream()
+        self._closed = True
+        return self._drain()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def result(self) -> SimulationResult:
+        """The finalised run; only available after :meth:`close`."""
+        if self._result is None:
+            raise RuntimeError("close() the service before reading its result")
+        return self._result
+
+    # ------------------------------------------------------------------
+    # EngineObserver callbacks (the decision stream's source).
+    # ------------------------------------------------------------------
+    def on_assigned(self, task: Task, machine_index: int, now: int) -> None:
+        self.metrics.assigned += 1
+        self._emit(task.task_id, "assigned", time=now, machine=machine_index)
+
+    def on_terminal(self, task: Task) -> None:
+        if task.status is TaskStatus.COMPLETED:
+            self.metrics.completed += 1
+            self._emit(
+                task.task_id,
+                "completed",
+                time=int(task.exec_end if task.exec_end is not None else 0),
+                on_time=task.on_time,
+            )
+        else:
+            self.metrics.dropped += 1
+            self._emit(
+                task.task_id,
+                "dropped",
+                time=int(task.dropped_at if task.dropped_at is not None else 0),
+                reason=task.drop_reason.value if task.drop_reason is not None else None,
+            )
+
+    def on_mapping_event(self, now: int, decision: MappingDecision) -> None:
+        self.metrics.mapping_events += 1
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        task_id: int,
+        action: str,
+        *,
+        time: int,
+        machine: int | None = None,
+        reason: str | None = None,
+        on_time: bool | None = None,
+    ) -> None:
+        wall = self._clock()
+        received = self._submit_wall.get(task_id)
+        latency = max(0.0, wall - received) if received is not None else 0.0
+        if task_id not in self._first_decided:
+            self._first_decided.add(task_id)
+            self.metrics.admission.record(latency)
+        self.metrics.decisions += 1
+        self._pending.append(
+            Decision(
+                seq=self._seq,
+                task_id=task_id,
+                action=action,
+                time=time,
+                latency_s=latency,
+                machine=machine,
+                reason=reason,
+                on_time=on_time,
+            )
+        )
+        self._seq += 1
+
+    def _drain(self) -> list[Decision]:
+        drained, self._pending = self._pending, []
+        return drained
+
+
+# ----------------------------------------------------------------------
+# Replay-equivalence views.
+# ----------------------------------------------------------------------
+def decision_map(
+    decisions: Iterable[Decision | Mapping],
+) -> dict[int, tuple[int | None, str, str | None, bool]]:
+    """Final per-task outcome of a decision stream.
+
+    Accepts :class:`Decision` objects or their wire payloads.  The value is
+    ``(machine, status, drop_reason, on_time)`` — exactly the fields
+    :func:`offline_decision_map` extracts from a batch
+    :class:`~repro.simulator.metrics.SimulationResult`, so equality between
+    the two maps is the service's replay-equivalence criterion.
+    """
+    final: dict[int, dict] = {}
+    for item in decisions:
+        if isinstance(item, Decision):
+            fields = {
+                "task_id": item.task_id,
+                "action": item.action,
+                "machine": item.machine,
+                "reason": item.reason,
+                "on_time": item.on_time,
+            }
+        else:
+            if item.get("event", "decision") != "decision":
+                continue
+            fields = {
+                "task_id": item["task_id"],
+                "action": item["action"],
+                "machine": item.get("machine"),
+                "reason": item.get("reason"),
+                "on_time": item.get("on_time"),
+            }
+        entry = final.setdefault(
+            int(fields["task_id"]),
+            {"machine": None, "status": None, "reason": None, "on_time": False},
+        )
+        if fields["action"] == "assigned":
+            entry["machine"] = int(fields["machine"])
+        elif fields["action"] == "completed":
+            entry["status"] = TaskStatus.COMPLETED.value
+            entry["on_time"] = bool(fields["on_time"])
+        elif fields["action"] == "dropped":
+            entry["status"] = TaskStatus.DROPPED.value
+            entry["reason"] = fields["reason"]
+    return {
+        task_id: (e["machine"], e["status"], e["reason"], e["on_time"])
+        for task_id, e in final.items()
+    }
+
+
+def offline_decision_map(
+    result: SimulationResult,
+) -> dict[int, tuple[int | None, str, str | None, bool]]:
+    """The same per-task outcome view, from a batch simulation result."""
+    return {
+        task.task_id: (
+            task.machine,
+            task.status.value,
+            task.drop_reason.value if task.drop_reason is not None else None,
+            task.on_time,
+        )
+        for task in result.tasks
+    }
+
+
+# ----------------------------------------------------------------------
+# The asyncio socket service.
+# ----------------------------------------------------------------------
+class SchedulerService:
+    """JSON-lines admission service over a local Unix socket.
+
+    One admission loop owns the core: submissions from every connection are
+    funnelled through an :class:`asyncio.Queue`, processed in arrival
+    order, and the resulting decision events are broadcast to every
+    connected client.  ``stop()`` drains in-flight submissions first (bounded
+    by ``drain_grace`` seconds), then closes the socket and removes its
+    path — no orphaned asyncio task survives it.
+    """
+
+    def __init__(
+        self,
+        core: SchedulerCore,
+        socket_path: str | Path,
+        *,
+        drain_grace: float = 5.0,
+    ) -> None:
+        self.core = core
+        self.socket_path = Path(socket_path)
+        self.drain_grace = float(drain_grace)
+        self._server: asyncio.AbstractServer | None = None
+        self._inbox: asyncio.Queue | None = None
+        self._admission: asyncio.Task | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("the service is already started")
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._inbox = asyncio.Queue()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+        self._admission = asyncio.create_task(
+            self._admission_loop(), name="repro-serve-admission"
+        )
+
+    async def wait_stopped(self) -> None:
+        """Block until the service has fully shut down."""
+        await self._stopped.wait()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Graceful shutdown; idempotent and safe to call from any task."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        # One loop tick first: a connection sitting in the accept backlog gets
+        # its handler created now, so the teardown below closes it too instead
+        # of stranding the client without an EOF.
+        await asyncio.sleep(0)
+        if self._server is not None:
+            self._server.close()
+        if drain and self._inbox is not None and self._admission is not None:
+            if not self._admission.done():
+                with suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._inbox.join(), self.drain_grace)
+        if self._admission is not None and not self._admission.done():
+            self._admission.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._admission
+        if self._server is not None:
+            with suppress(OSError):
+                await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            await self._discard_writer(writer)
+        with suppress(OSError):
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except ValueError as exc:
+                    await self._send(writer, {"event": "error", "message": str(exc)})
+                    continue
+                assert self._inbox is not None
+                await self._inbox.put((request, time.perf_counter(), writer))
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._discard_writer(writer)
+
+    async def _admission_loop(self) -> None:
+        assert self._inbox is not None
+        while True:
+            request, received, writer = await self._inbox.get()
+            try:
+                closing = await self._process(request, received, writer)
+            finally:
+                self._inbox.task_done()
+            if closing:
+                # The core is finalised; shut the whole service down (from a
+                # fresh task — stop() cancels this loop).
+                asyncio.create_task(self.stop(drain=False))
+                return
+
+    async def _process(
+        self, request: Mapping, received: float, writer: asyncio.StreamWriter
+    ) -> bool:
+        op = request.get("op")
+        if op == "submit":
+            try:
+                spec = spec_from_payload(request.get("task"))
+            except ValueError as exc:
+                self.core.metrics.rejected += 1
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return False
+            try:
+                decisions = self.core.submit(spec, received=received)
+            except (ValueError, RuntimeError) as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return False
+            await self._send(writer, {"event": "accepted", "task_id": spec.task_id})
+            await self._broadcast_decisions(decisions)
+            return False
+        if op == "flush":
+            try:
+                decisions = self.core.flush()
+            except RuntimeError as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return False
+            await self._broadcast_decisions(decisions)
+            await self._send(writer, {"event": "flushed"})
+            return False
+        if op == "stats":
+            await self._send(
+                writer, {"event": "stats", "metrics": self.core.metrics.snapshot()}
+            )
+            return False
+        if op == "close":
+            try:
+                decisions = self.core.close()
+            except RuntimeError as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return False
+            await self._broadcast_decisions(decisions)
+            result = self.core.result
+            await self._broadcast(
+                {
+                    "event": "closed",
+                    "summary": result.summary(),
+                    "status_counts": result.status_counts(),
+                    "metrics": self.core.metrics.snapshot(),
+                }
+            )
+            return True
+        await self._send(writer, {"event": "error", "message": f"unknown op {op!r}"})
+        return False
+
+    # ------------------------------------------------------------------
+    async def _broadcast_decisions(self, decisions: Sequence[Decision]) -> None:
+        for decision in decisions:
+            await self._broadcast(decision_to_payload(decision))
+
+    async def _broadcast(self, payload: Mapping) -> None:
+        for writer in list(self._writers):
+            await self._send(writer, payload)
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: Mapping) -> None:
+        if writer not in self._writers:
+            return
+        try:
+            writer.write(encode_line(payload))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            await self._discard_writer(writer)
+
+    async def _discard_writer(self, writer: asyncio.StreamWriter) -> None:
+        if writer in self._writers:
+            self._writers.discard(writer)
+            with suppress(Exception):
+                writer.close()
+                await writer.wait_closed()

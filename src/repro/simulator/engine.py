@@ -24,6 +24,21 @@ over that state (``MappingContext.machine_availability`` /
 ``availability_batch``) and the heuristics' ``ScoreTable`` scores every
 (task, machine) candidate pair against it in a single batched kernel call.
 See ``docs/architecture.md`` for the full event-loop lifecycle.
+
+Two driving modes share the same event loop:
+
+* **batch replay** — :meth:`HCSimulator.run` pre-loads a whole trace and
+  drains the event heap to completion (the paper's protocol);
+* **externally-driven streaming** — :meth:`HCSimulator.begin_stream` /
+  :meth:`inject_task` / :meth:`advance_until` / :meth:`finish_stream` let a
+  caller (the :mod:`repro.serve` admission service) feed arrivals one at a
+  time and advance virtual time between them.  ``run`` is implemented on
+  top of these primitives, so a trace streamed in arrival order produces
+  bit-identical decisions to a batch replay of the same trace.
+
+An optional :class:`EngineObserver` receives per-task callbacks (assigned,
+terminal) and per-mapping-event callbacks as they happen, which is how the
+serving layer streams decisions without touching simulation semantics.
 """
 
 from __future__ import annotations
@@ -39,6 +54,7 @@ from ..core.completion import DroppingPolicy
 from ..pet.matrix import PETMatrix
 from ..utils.rng import make_generator
 from ..workload.generator import WorkloadTrace
+from ..workload.spec import TaskSpec
 from .cost import default_prices_for
 from .machine import Machine
 from .mapping import (
@@ -51,7 +67,13 @@ from .metrics import SimulationCounters, SimulationResult
 from .state import SystemState
 from .task import DropReason, Task, TaskStatus
 
-__all__ = ["SimulatorConfig", "MappingHeuristicProtocol", "HCSimulator", "simulate"]
+__all__ = [
+    "SimulatorConfig",
+    "MappingHeuristicProtocol",
+    "EngineObserver",
+    "HCSimulator",
+    "simulate",
+]
 
 
 class MappingHeuristicProtocol(Protocol):
@@ -63,6 +85,24 @@ class MappingHeuristicProtocol(Protocol):
         ...
 
     def reset(self) -> None:  # pragma: no cover
+        ...
+
+
+class EngineObserver(Protocol):
+    """Callbacks the engine fires as decisions happen (all optional to act on).
+
+    Pure notifications: observers must not mutate engine state.  The serving
+    layer implements this to stream per-task decisions in real time; batch
+    replays run with ``observer=None`` and skip the calls entirely.
+    """
+
+    def on_assigned(self, task: Task, machine_index: int, now: int) -> None:  # pragma: no cover
+        ...
+
+    def on_terminal(self, task: Task) -> None:  # pragma: no cover
+        ...
+
+    def on_mapping_event(self, now: int, decision: MappingDecision) -> None:  # pragma: no cover
         ...
 
 
@@ -135,6 +175,8 @@ class HCSimulator:
         #: Live incremental availability state; (re)built by ``_reset_state``
         #: and notified next to every queue mutation below.
         self.state: SystemState | None = None
+        #: Optional decision-stream observer (see :class:`EngineObserver`).
+        self.observer: EngineObserver | None = None
         self.tasks: dict[int, Task] = {}
         self._batch: dict[int, Task] = {}
         self._events: list[tuple[int, int, int, int]] = []
@@ -143,27 +185,63 @@ class HCSimulator:
         self._misses_since_event = 0
         self._terminal_since_event: list[TerminalEvent] = []
         self._now = 0
+        #: Latest event timestamp fully processed in streaming mode; arrivals
+        #: at or before this instant can no longer join their mapping event.
+        self._processed_through = -1
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def run(self, trace: WorkloadTrace) -> SimulationResult:
         """Simulate one workload trace to completion and return the metrics."""
+        self.begin_stream()
+        for spec in trace:
+            self.inject_task(spec)
+        return self.finish_stream()
+
+    # ------------------------------------------------------------------
+    # Externally-driven streaming mode (the online serving layer).
+    # ------------------------------------------------------------------
+    def begin_stream(self) -> None:
+        """Reset the engine for an externally-driven arrival stream."""
         self._reset_state()
         self.heuristic.reset()
-        for spec in trace:
-            task = Task(spec)
-            self.tasks[spec.task_id] = task
-            self._push_event(spec.arrival, _ARRIVAL, spec.task_id)
 
+    def inject_task(self, spec: TaskSpec) -> Task:
+        """Add one arriving task to the live system.
+
+        The arrival must not predate an already-processed event timestamp:
+        the mapping event at that instant has fired and cannot be re-run
+        without breaking replay equivalence.
+        """
+        if self.state is None:
+            raise RuntimeError("begin_stream() must be called before inject_task()")
+        if spec.task_id in self.tasks:
+            raise ValueError(f"task {spec.task_id} was already injected")
+        if spec.arrival <= self._processed_through:
+            raise ValueError(
+                f"task {spec.task_id} arrives at {spec.arrival}, but the engine "
+                f"has already processed events through {self._processed_through}"
+            )
+        task = Task(spec)
+        self.tasks[spec.task_id] = task
+        self._push_event(spec.arrival, _ARRIVAL, spec.task_id)
+        return task
+
+    def advance_until(self, time: int) -> None:
+        """Process every pending event timestamp strictly before ``time``.
+
+        Events at ``time`` itself stay pending so late-but-simultaneous
+        arrivals can still join their mapping event — the caller advances
+        past an instant only once it knows no more arrivals carry it.
+        """
+        while self._events and self._events[0][0] < time:
+            self._step_once()
+
+    def finish_stream(self) -> SimulationResult:
+        """Drain all pending events, finalise, and return the metrics."""
         while self._events:
-            now = self._events[0][0]
-            self._now = now
-            self._process_events_at(now)
-            self._drop_missed_tasks(now)
-            self._run_mapping_event(now)
-            self._start_executions(now)
-
+            self._step_once()
         self._finalise_unfinished_tasks()
         ordered = tuple(
             sorted(self.tasks.values(), key=lambda t: (t.arrival, t.task_id))
@@ -178,9 +256,23 @@ class HCSimulator:
             end_time=self._now,
         )
 
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the heap (streaming mode)."""
+        return len(self._events)
+
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
+    def _step_once(self) -> None:
+        """Process one event timestamp: events, drops, mapping, starts."""
+        now = self._events[0][0]
+        self._now = now
+        self._process_events_at(now)
+        self._drop_missed_tasks(now)
+        self._run_mapping_event(now)
+        self._start_executions(now)
+        self._processed_through = now
     def _reset_state(self) -> None:
         self.machines = [
             Machine(
@@ -207,6 +299,7 @@ class HCSimulator:
         self._misses_since_event = 0
         self._terminal_since_event = []
         self._now = 0
+        self._processed_through = -1
 
     def _push_event(self, time: int, kind: int, task_id: int) -> None:
         heapq.heappush(self._events, (int(time), kind, next(self._seq), task_id))
@@ -248,6 +341,8 @@ class HCSimulator:
         self._terminal_since_event.append(
             TerminalEvent(task.task_id, task.task_type, task.on_time)
         )
+        if self.observer is not None:
+            self.observer.on_terminal(task)
 
     def _drop_missed_tasks(self, now: int) -> None:
         """Remove tasks whose deadlines passed while waiting (Section III)."""
@@ -285,6 +380,8 @@ class HCSimulator:
         decision.validate(context)
         self._apply_decision(decision, now)
         self._counters.mapping_events += 1
+        if self.observer is not None:
+            self.observer.on_mapping_event(now, decision)
 
     def _apply_decision(self, decision: MappingDecision, now: int) -> None:
         for drop in decision.queue_drops:
@@ -313,6 +410,8 @@ class HCSimulator:
             machine.enqueue(task, now)
             self.state.notify_enqueue(machine.index, task)
             self._counters.assignments += 1
+            if self.observer is not None:
+                self.observer.on_assigned(task, machine.index, now)
 
         self._counters.deferrals += len(decision.deferrals)
 
@@ -362,6 +461,8 @@ class HCSimulator:
                     self.state.notify_remove(machine.index, task)
             task.mark_dropped(drop_time, reason)
             self._counters.deadline_miss_drops += 1
+            if self.observer is not None:
+                self.observer.on_terminal(task)
         self._now = end_time
 
 

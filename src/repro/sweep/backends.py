@@ -236,9 +236,17 @@ class QueueBackend:
         # Several sweep points can share one content address (labels are
         # excluded from cache keys), so a physical queue row may serve more
         # than one submitted task — every one of them must get the result.
+        # Points the queue has timed before are prioritised
+        # shortest-expected-trial-first; unknown points keep priority 0 and
+        # therefore run first, FIFO (exploring beats exploiting a stale hint).
+        hints = self.queue.timing_hints()
         self._tasks_by_key = {}
         for task in tasks:
-            key = self.queue.enqueue(task.point, task.trial_index)
+            key = self.queue.enqueue(
+                task.point,
+                task.trial_index,
+                priority=hints.get(task.point.cache_key(), 0.0),
+            )
             self._tasks_by_key.setdefault(key, []).append(task)
         self._remaining = set(self._tasks_by_key)
         for index in range(self.workers):

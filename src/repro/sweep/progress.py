@@ -97,6 +97,12 @@ def format_heartbeat(status: "QueueStatus", *, now: float | None = None) -> str:
 
     ``now`` (defaults to the current wall clock, the basis of lease
     deadlines) turns each lease expiry into a human-readable time-left.
+    Degenerate queues render honestly rather than reassuringly: an expired
+    lease is labelled as such instead of showing ``0s left`` for a worker
+    that is probably gone, a queue whose only remaining rows are
+    dead-lettered says so (with the recovery command), and a lease row
+    missing its owner (interrupted writes, manual surgery) never crashes
+    the status line.
     """
     now = time.time() if now is None else now
     line = (
@@ -104,10 +110,23 @@ def format_heartbeat(status: "QueueStatus", *, now: float | None = None) -> str:
         f"{status.done} done, {status.dead} dead"
     )
     if status.workers:
-        leases = ", ".join(
-            f"{lease.owner} ({lease.tasks} leased, "
-            f"{max(0.0, lease.lease_expires_at - now):.0f}s left)"
-            for lease in status.workers
+        leases = []
+        live = 0
+        for lease in status.workers:
+            owner = lease.owner if lease.owner else "<unknown owner>"
+            left = lease.lease_expires_at - now
+            if left > 0:
+                live += 1
+                holding = f"{left:.0f}s left"
+            else:
+                holding = "lease expired"
+            leases.append(f"{owner} ({lease.tasks} leased, {holding})")
+        line += " | workers: " + ", ".join(leases)
+        if live == 0:
+            line += " — no live workers"
+    if status.unfinished == 0 and status.dead:
+        line += (
+            f" — stalled: {status.dead} dead-lettered row(s) are all that is left"
+            " ('repro queue requeue --dead' revives them)"
         )
-        line += f" | workers: {leases}"
     return line

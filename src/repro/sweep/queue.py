@@ -27,6 +27,13 @@ The row lifecycle is a four-state machine::
 * **attempts** counts claims; a row that keeps expiring (or failing) moves
   to ``dead`` once ``max_attempts`` claims have been burned, so one
   poisonous trial can never wedge the queue.
+* **priority** orders claims (ascending, ties broken FIFO).  The default of
+  ``0.0`` for every row degenerates to pure FIFO, so existing queues and
+  producers are unaffected; the queue backend sets it to the point's mean
+  completed-trial wall seconds (shortest-expected-trial-first), which gets
+  cheap points — and therefore whole figure data points — finished and
+  reported earliest.  Completed rows record their measured ``seconds`` so
+  the hints improve as a queue is reused.
 
 Every operation opens its own short-lived connection with a generous busy
 timeout, which keeps the queue safe under many concurrent worker processes
@@ -90,10 +97,20 @@ CREATE TABLE IF NOT EXISTS tasks (
     result_json      TEXT,
     error            TEXT,
     enqueued_at      REAL NOT NULL,
-    updated_at       REAL NOT NULL
+    updated_at       REAL NOT NULL,
+    priority         REAL NOT NULL DEFAULT 0.0,
+    seconds          REAL
 );
 CREATE INDEX IF NOT EXISTS tasks_status ON tasks (status, lease_expires_at);
 """
+
+#: Columns added after the first released schema, with their ALTER clauses —
+#: applied lazily so a queue database created by an older version keeps
+#: working (new columns arrive with their FIFO-compatible defaults).
+_MIGRATIONS: tuple[tuple[str, str], ...] = (
+    ("priority", "ALTER TABLE tasks ADD COLUMN priority REAL NOT NULL DEFAULT 0.0"),
+    ("seconds", "ALTER TABLE tasks ADD COLUMN seconds REAL"),
+)
 
 
 def task_key_for(point: "SweepPoint", trial_index: int) -> str:
@@ -120,6 +137,8 @@ class QueueTask:
     lease_owner: str | None
     lease_expires_at: float | None
     error: str | None
+    priority: float = 0.0
+    seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -185,6 +204,10 @@ class WorkQueue:
         self.db_path = self.queue_dir / "queue.sqlite"
         with closing(self._connect()) as conn:
             conn.executescript(_SCHEMA)
+            present = {row[1] for row in conn.execute("PRAGMA table_info(tasks)")}
+            for column, clause in _MIGRATIONS:
+                if column not in present:
+                    conn.execute(clause)
             conn.commit()
 
     # ------------------------------------------------------------------
@@ -195,19 +218,21 @@ class WorkQueue:
 
     # ------------------------------------------------------------------
     # Producer side (the QueueBackend frontend).
-    def enqueue(self, point: "SweepPoint", trial_index: int) -> str:
+    def enqueue(self, point: "SweepPoint", trial_index: int, *, priority: float = 0.0) -> str:
         """Add one trial; a no-op if the row (any state) already exists.
 
         Idempotence is what makes re-running an interrupted sweep safe: rows
         already ``done`` keep their result and are served straight back.
+        ``priority`` orders claims ascending (ties FIFO); the 0.0 default
+        keeps the queue pure FIFO.
         """
         key = task_key_for(point, trial_index)
         now = time.time()
         with closing(self._connect()) as conn:
             conn.execute(
                 "INSERT INTO tasks (task_key, point_key, trial_index, label, point_blob,"
-                " status, max_attempts, enqueued_at, updated_at)"
-                " VALUES (?, ?, ?, ?, ?, 'pending', ?, ?, ?)"
+                " status, max_attempts, enqueued_at, updated_at, priority)"
+                " VALUES (?, ?, ?, ?, ?, 'pending', ?, ?, ?, ?)"
                 " ON CONFLICT(task_key) DO NOTHING",
                 (
                     key,
@@ -218,14 +243,18 @@ class WorkQueue:
                     self.max_attempts,
                     now,
                     now,
+                    float(priority),
                 ),
             )
             conn.commit()
         return key
 
-    def enqueue_point(self, point: "SweepPoint") -> list[str]:
+    def enqueue_point(self, point: "SweepPoint", *, priority: float = 0.0) -> list[str]:
         """Enqueue every trial of one point; returns the row keys in order."""
-        return [self.enqueue(point, trial) for trial in range(point.config.trials)]
+        return [
+            self.enqueue(point, trial, priority=priority)
+            for trial in range(point.config.trials)
+        ]
 
     # ------------------------------------------------------------------
     # Worker side.
@@ -234,7 +263,9 @@ class WorkQueue:
 
         Claimable means ``pending``, or ``leased`` with an expired lease
         (crash recovery).  Rows whose claims are exhausted are flipped to
-        ``dead`` instead of being handed out.
+        ``dead`` instead of being handed out.  Rows are served in ascending
+        ``priority`` order (shortest-expected-trial-first when the backend
+        has timing hints), FIFO within a priority.
         """
         now = time.time() if now is None else now
         with closing(self._connect()) as conn:
@@ -245,7 +276,7 @@ class WorkQueue:
                     " FROM tasks"
                     " WHERE status = 'pending'"
                     "    OR (status = 'leased' AND lease_expires_at <= ?)"
-                    " ORDER BY enqueued_at, task_key LIMIT 1",
+                    " ORDER BY priority, enqueued_at, task_key LIMIT 1",
                     (now,),
                 ).fetchone()
                 if row is None:
@@ -290,15 +321,27 @@ class WorkQueue:
             conn.commit()
             return cursor.rowcount == 1
 
-    def complete(self, task_key: str, owner: str, metrics: TrialMetrics) -> bool:
-        """Store a finished trial's metrics; owner-guarded against zombies."""
+    def complete(
+        self,
+        task_key: str,
+        owner: str,
+        metrics: TrialMetrics,
+        *,
+        seconds: float | None = None,
+    ) -> bool:
+        """Store a finished trial's metrics; owner-guarded against zombies.
+
+        ``seconds`` records the trial's measured wall time, which future
+        enqueues of the same point read back as a priority hint.
+        """
         now = time.time()
         with closing(self._connect()) as conn:
             cursor = conn.execute(
                 "UPDATE tasks SET status = 'done', result_json = ?, error = NULL,"
-                " lease_owner = NULL, lease_expires_at = NULL, updated_at = ?"
+                " lease_owner = NULL, lease_expires_at = NULL, updated_at = ?,"
+                " seconds = ?"
                 " WHERE task_key = ? AND status = 'leased' AND lease_owner = ?",
-                (json.dumps(metrics.to_payload()), now, task_key, owner),
+                (json.dumps(metrics.to_payload()), now, seconds, task_key, owner),
             )
             conn.commit()
             return cursor.rowcount == 1
@@ -408,8 +451,14 @@ class WorkQueue:
             counts = dict(
                 conn.execute("SELECT status, COUNT(*) FROM tasks GROUP BY status")
             )
+            # NULL owners/expiries (interrupted writes, manual surgery) must
+            # not crash observation; they render as already-expired leases.
             workers = tuple(
-                WorkerLease(owner=owner, tasks=int(tasks), lease_expires_at=float(expires))
+                WorkerLease(
+                    owner=owner,
+                    tasks=int(tasks),
+                    lease_expires_at=float(expires) if expires is not None else 0.0,
+                )
                 for owner, tasks, expires in conn.execute(
                     "SELECT lease_owner, COUNT(*), MAX(lease_expires_at) FROM tasks"
                     " WHERE status = 'leased' GROUP BY lease_owner ORDER BY lease_owner"
@@ -427,7 +476,8 @@ class WorkQueue:
         """Observe rows (all, or a subset by key), without their results."""
         base = (
             "SELECT task_key, point_key, trial_index, label, status, attempts,"
-            " max_attempts, lease_owner, lease_expires_at, error FROM tasks"
+            " max_attempts, lease_owner, lease_expires_at, error, priority, seconds"
+            " FROM tasks"
         )
         rows: list[tuple] = []
         with closing(self._connect()) as conn:
@@ -451,10 +501,29 @@ class WorkQueue:
                 lease_owner=owner,
                 lease_expires_at=expires,
                 error=error,
+                priority=float(priority),
+                seconds=None if seconds is None else float(seconds),
             )
             for key, point_key, trial_index, label, status, attempts,
-                max_attempts, owner, expires, error in rows
+                max_attempts, owner, expires, error, priority, seconds in rows
         ]
+
+    def timing_hints(self) -> dict[str, float]:
+        """Mean measured wall seconds per point, from completed trials.
+
+        Only ``done`` rows that recorded their duration contribute, so a
+        fresh queue returns an empty mapping and every enqueue stays at the
+        FIFO-default priority.
+        """
+        with closing(self._connect()) as conn:
+            return {
+                point_key: float(mean_seconds)
+                for point_key, mean_seconds in conn.execute(
+                    "SELECT point_key, AVG(seconds) FROM tasks"
+                    " WHERE status = 'done' AND seconds IS NOT NULL"
+                    " GROUP BY point_key"
+                )
+            }
 
     def results(self, task_keys: Sequence[str]) -> dict[str, TrialMetrics]:
         """Fetch the metrics of every ``done`` row among ``task_keys``."""

@@ -113,6 +113,7 @@ def run_worker(
             f"({claimed.point.label!r} trial {claimed.trial_index}, "
             f"attempt {claimed.attempts})"
         )
+        started = time.monotonic()
         with _LeaseRenewer(queue, claimed.task_key, owner):
             try:
                 metrics = _execute_point_trial(claimed.point, claimed.trial_index)
@@ -126,7 +127,9 @@ def run_worker(
                 queue.fail(claimed.task_key, owner, traceback.format_exc())
                 say(f"worker {owner} failed {claimed.task_key[:12]}…")
                 continue
-        queue.complete(claimed.task_key, owner, metrics)
+        queue.complete(
+            claimed.task_key, owner, metrics, seconds=time.monotonic() - started
+        )
         executed += 1
         if max_tasks is not None and executed >= max_tasks:
             say(f"worker {owner} exiting: max tasks ({max_tasks}) reached")

@@ -1,0 +1,193 @@
+"""Replay equivalence and admission semantics of the scheduler service.
+
+The load-bearing property: a trace streamed through :class:`SchedulerCore`
+(or over the socket) in arrival order produces decisions *bit-identical* to
+an offline batch :meth:`HCSimulator.run` of the same trace — mapping,
+drop set, drop reasons, and on-time flags all equal with atol=0.  The full
+reference trace (``examples/transcoding_660.trace.json``, PAMF) is pinned
+here, per the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.heuristics import make_heuristic
+from repro.pet.builders import build_transcoding_pet
+from repro.serve import (
+    SchedulerCore,
+    SchedulerService,
+    decision_map,
+    offline_decision_map,
+    replay_trace,
+    slice_trace,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.simulator.engine import HCSimulator
+from repro.workload.spec import TaskSpec
+from repro.workload.traces import load_trace
+
+REFERENCE_TRACE = (
+    Path(__file__).resolve().parent.parent.parent / "examples" / "transcoding_660.trace.json"
+)
+
+
+def _heuristic(pet, name="PAMF"):
+    return make_heuristic(name, num_task_types=pet.num_task_types)
+
+
+def _offline(pet, trace, *, name="PAMF", seed=5):
+    return HCSimulator(pet, _heuristic(pet, name), rng=seed).run(trace)
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("name", ["MM", "PAM", "PAMF"])
+    def test_streamed_matches_offline(self, small_gamma_pet, small_trace, name):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet, name), rng=5)
+        decisions = []
+        for spec in small_trace:
+            decisions.extend(core.submit(spec))
+        decisions.extend(core.close())
+        offline = _offline(small_gamma_pet, small_trace, name=name)
+        assert decision_map(decisions) == offline_decision_map(offline)
+        assert core.result.summary() == offline.summary()
+
+    def test_full_reference_trace_pinned(self):
+        """The acceptance gate: transcoding_660 + PAMF, streamed vs batch."""
+        trace = load_trace(REFERENCE_TRACE)
+        pet = build_transcoding_pet(rng=2019)
+        core = SchedulerCore(pet, _heuristic(pet), rng=2021)
+        decisions = []
+        for spec in trace:
+            decisions.extend(core.submit(spec))
+        decisions.extend(core.close())
+        offline = HCSimulator(pet, _heuristic(pet), rng=2021).run(trace)
+        streamed_map = decision_map(decisions)
+        assert len(streamed_map) == len(trace) == 660
+        assert streamed_map == offline_decision_map(offline)
+        assert core.result.summary() == offline.summary()
+
+    def test_simultaneous_arrivals_share_a_mapping_event(self, small_gamma_pet, small_trace):
+        """Tasks submitted one by one with equal arrivals still batch."""
+        burst = [spec for spec in small_trace if spec.arrival == small_trace[0].arrival]
+        assert burst, "trace should start with at least one task"
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        for spec in small_trace:
+            core.submit(spec)
+        core.close()
+        offline = _offline(small_gamma_pet, small_trace)
+        assert core.result.counters.mapping_events == offline.counters.mapping_events
+
+    def test_socket_stream_matches_offline(self, tmp_path, small_gamma_pet, small_trace):
+        """Socket-served decisions equal the offline map, end to end."""
+
+        async def drive():
+            core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            try:
+                return await replay_trace(
+                    service.socket_path, small_trace, rate=10_000.0, close=True
+                )
+            finally:
+                await service.stop(drain=False)
+
+        outcome = asyncio.run(drive())
+        offline = _offline(small_gamma_pet, small_trace)
+        assert decision_map(outcome.decisions) == offline_decision_map(offline)
+        assert outcome.closed is not None
+        assert outcome.closed["summary"] == offline.summary()
+        assert outcome.closed["metrics"]["submitted"] == len(small_trace)
+
+    def test_decision_latency_uses_injected_clock(self, small_gamma_pet, small_trace):
+        ticks = itertools.count()
+        core = SchedulerCore(
+            small_gamma_pet,
+            _heuristic(small_gamma_pet),
+            rng=5,
+            clock=lambda: float(next(ticks)),
+        )
+        for spec in small_trace:
+            core.submit(spec)
+        core.close()
+        summary = core.metrics.admission.summary()
+        assert summary["count"] == len(small_trace)
+        assert summary["max_s"] >= 0.0
+
+
+class TestAdmissionGuards:
+    def test_late_arrival_rejected_and_counted(self, small_gamma_pet):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        core.submit(TaskSpec(arrival=100, task_id=0, task_type=0, deadline=400))
+        # A later instant moves the processed frontier past time 100...
+        core.submit(TaskSpec(arrival=150, task_id=1, task_type=0, deadline=500))
+        # ...so an arrival behind the frontier is late and must be rejected.
+        with pytest.raises(ValueError, match="already processed"):
+            core.submit(TaskSpec(arrival=40, task_id=2, task_type=0, deadline=300))
+        assert core.metrics.rejected == 1
+        assert core.metrics.submitted == 2
+
+    def test_duplicate_task_id_rejected(self, small_gamma_pet):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        core.submit(TaskSpec(arrival=10, task_id=7, task_type=0, deadline=200))
+        with pytest.raises(ValueError, match="already injected"):
+            core.submit(TaskSpec(arrival=10, task_id=7, task_type=1, deadline=250))
+        assert core.metrics.rejected == 1
+
+    def test_same_instant_resubmission_allowed(self, small_gamma_pet):
+        """Equal-arrival submissions are not 'late' — the batch is open."""
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        core.submit(TaskSpec(arrival=50, task_id=0, task_type=0, deadline=300))
+        core.submit(TaskSpec(arrival=50, task_id=1, task_type=1, deadline=300))
+        assert core.metrics.submitted == 2
+
+    def test_submit_after_close_raises(self, small_gamma_pet):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        core.submit(TaskSpec(arrival=10, task_id=0, task_type=0, deadline=100))
+        core.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            core.submit(TaskSpec(arrival=20, task_id=1, task_type=0, deadline=120))
+        with pytest.raises(RuntimeError, match="closed"):
+            core.flush()
+        with pytest.raises(RuntimeError, match="closed"):
+            core.close()
+
+    def test_result_unavailable_before_close(self, small_gamma_pet):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        with pytest.raises(RuntimeError, match="close"):
+            core.result
+
+    def test_flush_forces_held_instant(self, small_gamma_pet):
+        """Without flush the watermark batch is held open; flush maps it."""
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        held = core.submit(TaskSpec(arrival=10, task_id=0, task_type=0, deadline=500))
+        assert held == []  # the time-10 batch is still open
+        flushed = core.flush()
+        assert any(d.action == "assigned" and d.task_id == 0 for d in flushed)
+
+
+class TestWireProtocol:
+    def test_spec_payload_round_trip(self):
+        spec = TaskSpec(arrival=5, task_id=3, task_type=2, deadline=99)
+        assert spec_from_payload(spec_to_payload(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"task_id": 1, "task_type": 0, "arrival": 4},  # missing deadline
+            {"task_id": 1, "task_type": 0, "arrival": 4.5, "deadline": 50},
+            {"task_id": True, "task_type": 0, "arrival": 4, "deadline": 50},
+            {"task_id": 1, "task_type": 0, "arrival": float("inf"), "deadline": 50},
+            {"task_id": 1, "task_type": 0, "arrival": 60, "deadline": 50},  # deadline<arrival
+            "not an object",
+        ],
+    )
+    def test_malformed_payload_rejected(self, payload):
+        with pytest.raises(ValueError):
+            spec_from_payload(payload)

@@ -1,0 +1,188 @@
+"""Graceful-shutdown behaviour of the scheduler service.
+
+Mirrors the executor's KeyboardInterrupt contract: stopping the service —
+by API, by a client ``close``, or by an interrupt mid-bench — must drain
+in-flight submissions (when asked), close and unlink the socket, and leave
+no orphaned asyncio task behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.heuristics import make_heuristic
+from repro.serve import (
+    SchedulerCore,
+    SchedulerService,
+    decode_line,
+    encode_line,
+    spec_to_payload,
+)
+import repro.serve.loadgen as loadgen
+
+
+def _core(pet, seed=5):
+    return SchedulerCore(pet, make_heuristic("PAMF", num_task_types=pet.num_task_types), rng=seed)
+
+
+async def _settled_tasks(deadline: float = 2.0) -> list[asyncio.Task]:
+    """Every task other than the caller that refuses to finish promptly."""
+    current = asyncio.current_task()
+    for _ in range(int(deadline / 0.01)):
+        leftover = [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+        if not leftover:
+            return []
+        await asyncio.sleep(0.01)
+    return [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+
+
+class TestGracefulStop:
+    def test_stop_drains_inflight_submissions(self, tmp_path, small_gamma_pet, small_trace):
+        """Submissions already accepted into the inbox are processed before
+        the admission loop is torn down."""
+
+        async def drive():
+            core = _core(small_gamma_pet)
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            for spec in small_trace:
+                service._inbox.put_nowait(
+                    ({"op": "submit", "task": spec_to_payload(spec)}, 0.0, object())
+                )
+            await service.stop(drain=True)
+            assert await _settled_tasks() == []
+            return core
+
+        core = asyncio.run(drive())
+        assert core.metrics.submitted == len(small_trace)
+
+    def test_stop_without_drain_discards_backlog(self, tmp_path, small_gamma_pet, small_trace):
+        async def drive():
+            core = _core(small_gamma_pet)
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            for spec in small_trace:
+                service._inbox.put_nowait(
+                    ({"op": "submit", "task": spec_to_payload(spec)}, 0.0, object())
+                )
+            await service.stop(drain=False)
+            assert await _settled_tasks() == []
+            return core
+
+        core = asyncio.run(drive())
+        # The admission loop may have started on the backlog, but a no-drain
+        # stop must not wait for all of it.
+        assert core.metrics.submitted <= len(small_trace)
+
+    def test_socket_closed_and_unlinked_after_stop(self, tmp_path, small_gamma_pet):
+        socket_path = tmp_path / "serve.sock"
+
+        async def drive():
+            service = SchedulerService(_core(small_gamma_pet), socket_path)
+            await service.start()
+            assert socket_path.exists()
+            reader, writer = await asyncio.open_unix_connection(str(socket_path))
+            # Round-trip once so the connection is fully established (not
+            # merely sitting in the accept backlog) before tearing down.
+            writer.write(encode_line({"op": "stats"}))
+            await writer.drain()
+            stats = decode_line(await reader.readline())
+            assert stats["event"] == "stats"
+            await service.stop(drain=True)
+            assert not socket_path.exists()
+            # The accepted connection was torn down by the service.
+            assert await reader.read() == b""
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            assert await _settled_tasks() == []
+
+        asyncio.run(drive())
+        with pytest.raises((ConnectionRefusedError, FileNotFoundError)):
+            import socket as socket_module
+
+            client = socket_module.socket(socket_module.AF_UNIX)
+            try:
+                client.connect(str(socket_path))
+            finally:
+                client.close()
+
+    def test_stop_is_idempotent(self, tmp_path, small_gamma_pet):
+        async def drive():
+            service = SchedulerService(_core(small_gamma_pet), tmp_path / "serve.sock")
+            await service.start()
+            await service.stop(drain=True)
+            await service.stop(drain=True)  # second stop returns immediately
+            assert await _settled_tasks() == []
+
+        asyncio.run(drive())
+
+    def test_client_close_op_stops_the_service(self, tmp_path, small_gamma_pet, light_trace):
+        """A wire `close` finalises the run and shuts the whole service down."""
+
+        async def drive():
+            core = _core(small_gamma_pet)
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            reader, writer = await asyncio.open_unix_connection(str(service.socket_path))
+            for spec in light_trace:
+                writer.write(encode_line({"op": "submit", "task": spec_to_payload(spec)}))
+            writer.write(encode_line({"op": "close"}))
+            await writer.drain()
+            await asyncio.wait_for(service.wait_stopped(), timeout=10.0)
+            writer.close()
+            assert not service.socket_path.exists()
+            assert await _settled_tasks() == []
+            return core
+
+        core = asyncio.run(drive())
+        assert core.closed
+        assert core.metrics.submitted == len(light_trace)
+
+
+class TestInterruptMidBench:
+    def test_keyboard_interrupt_leaves_no_orphans(
+        self, monkeypatch, small_gamma_pet, light_trace
+    ):
+        """SIGINT mid-replay (KeyboardInterrupt in the loadgen client) still
+        tears the per-rate service down: socket unlinked, loop drained."""
+        created = []
+        original_service = loadgen.SchedulerService
+
+        class SpyService(original_service):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        async def interrupting_replay(socket_path, trace, **kwargs):
+            reader, writer = await asyncio.open_unix_connection(str(socket_path))
+            writer.write(
+                encode_line({"op": "submit", "task": spec_to_payload(trace[0])})
+            )
+            await writer.drain()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(loadgen, "SchedulerService", SpyService)
+        monkeypatch.setattr(loadgen, "replay_trace", interrupting_replay)
+
+        def factory():
+            return make_heuristic("PAMF", num_task_types=small_gamma_pet.num_task_types)
+
+        with pytest.raises(KeyboardInterrupt):
+            loadgen.run_bench(
+                small_gamma_pet,
+                factory,
+                light_trace,
+                heuristic_name="PAMF",
+                pet_kind="small",
+                seed=5,
+                rates=(100.0,),
+                check_offline=False,
+            )
+        assert len(created) == 1
+        [service] = created
+        assert not service.socket_path.exists()

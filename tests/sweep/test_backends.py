@@ -233,6 +233,69 @@ class TestHeartbeats:
             "[queue] 1 pending, 0 leased, 0 done, 0 dead"
         )
 
+    def test_format_heartbeat_expired_lease_says_so(self):
+        """An expired lease renders as expired, never as '0s left'."""
+        status = QueueStatus(
+            leased=1,
+            workers=(WorkerLease(owner="host:9", tasks=1, lease_expires_at=900.0),),
+        )
+        line = format_heartbeat(status, now=1000.0)
+        assert "host:9 (1 leased, lease expired)" in line
+        assert "no live workers" in line
+        assert "0s left" not in line
+
+    def test_format_heartbeat_mixed_live_and_expired(self):
+        status = QueueStatus(
+            leased=2,
+            workers=(
+                WorkerLease(owner="host:1", tasks=1, lease_expires_at=950.0),
+                WorkerLease(owner="host:2", tasks=1, lease_expires_at=1030.0),
+            ),
+        )
+        line = format_heartbeat(status, now=1000.0)
+        assert "host:1 (1 leased, lease expired)" in line
+        assert "host:2 (1 leased, 30s left)" in line
+        assert "no live workers" not in line
+
+    def test_format_heartbeat_dead_only_queue(self):
+        """A queue with nothing runnable left points at the recovery path."""
+        line = format_heartbeat(QueueStatus(done=2, dead=3), now=1000.0)
+        assert line.startswith("[queue] 0 pending, 0 leased, 2 done, 3 dead")
+        assert "stalled" in line
+        assert "repro queue requeue --dead" in line
+
+    def test_format_heartbeat_null_owner_never_crashes(self):
+        status = QueueStatus(
+            leased=1,
+            workers=(WorkerLease(owner=None, tasks=1, lease_expires_at=0.0),),
+        )
+        line = format_heartbeat(status, now=1000.0)
+        assert "<unknown owner> (1 leased, lease expired)" in line
+
+    def test_status_tolerates_null_lease_columns(self, tmp_path):
+        """A leased row with NULL owner/expiry (interrupted write) must not
+        crash observation; it shows up as an already-expired lease."""
+        import sqlite3
+        from contextlib import closing
+
+        from repro.sweep import WorkQueue
+
+        queue = WorkQueue(tmp_path / "queue")
+        with closing(sqlite3.connect(queue.db_path)) as conn:
+            conn.execute(
+                "INSERT INTO tasks (task_key, point_key, trial_index, label,"
+                " point_blob, status, max_attempts, enqueued_at, updated_at)"
+                " VALUES ('x:00000', 'x', 0, 'hurt', X'00', 'leased', 3, 1.0, 1.0)"
+            )
+            conn.commit()
+        status = queue.status()
+        assert status.leased == 1
+        [lease] = status.workers
+        assert lease.owner is None
+        assert lease.lease_expires_at == 0.0
+        line = format_heartbeat(status, now=1000.0)
+        assert "no live workers" in line
+
     def test_stream_reporter_exposes_heartbeat(self, capsys):
         import io
 

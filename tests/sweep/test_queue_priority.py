@@ -1,0 +1,166 @@
+"""Priority ordering and timing hints of the work queue.
+
+The queue claims rows in ascending ``priority`` (shortest-expected-trial
+first when the backend has timing hints), FIFO within a priority — and the
+0.0 default means queues that never set priorities behave exactly as
+before.  Legacy databases created before the ``priority``/``seconds``
+columns existed are migrated in place on open.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from contextlib import closing
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sweep import (
+    HeuristicSpec,
+    PETSpec,
+    SweepPoint,
+    TrialMetrics,
+    WorkQueue,
+)
+from repro.workload.generator import WorkloadConfig
+
+
+def make_point(label: str, *, tasks: int = 40) -> SweepPoint:
+    return SweepPoint(
+        label=label,
+        pet=PETSpec(kind="spec", seed=5),
+        heuristic=HeuristicSpec(name="MM"),
+        workload=WorkloadConfig(num_tasks=tasks, time_span=300, beta=1.5),
+        config=ExperimentConfig(trials=1, seed=5),
+    )
+
+
+def make_metrics() -> TrialMetrics:
+    return TrialMetrics(
+        robustness_percent=50.0,
+        fairness_variance=1.0,
+        total_cost=2.0,
+        cost_per_percent_on_time=0.04,
+        completed_on_time=10,
+        total_tasks=40,
+        per_type_completion_percent=(50.0, 60.0),
+    )
+
+
+@pytest.fixture
+def queue(tmp_path) -> WorkQueue:
+    return WorkQueue(tmp_path / "queue", lease_seconds=10.0, max_attempts=3)
+
+
+class TestPriorityOrdering:
+    def test_default_priority_keeps_fifo(self, queue):
+        first, second = make_point("first"), make_point("second", tasks=41)
+        queue.enqueue_point(first)
+        queue.enqueue_point(second)
+        assert queue.claim("w").point.label == "first"
+        assert queue.claim("w").point.label == "second"
+
+    def test_lower_priority_claims_first(self, queue):
+        slow, fast = make_point("slow"), make_point("fast", tasks=41)
+        queue.enqueue_point(slow, priority=9.5)
+        queue.enqueue_point(fast, priority=0.25)
+        assert queue.claim("w").point.label == "fast"
+        assert queue.claim("w").point.label == "slow"
+
+    def test_unknown_points_run_before_timed_ones(self, queue):
+        """Priority 0 (no hint) beats any measured duration — explore first."""
+        timed, fresh = make_point("timed"), make_point("fresh", tasks=41)
+        queue.enqueue_point(timed, priority=3.0)
+        queue.enqueue_point(fresh)  # default 0.0
+        assert queue.claim("w").point.label == "fresh"
+
+    def test_priority_visible_on_rows(self, queue):
+        queue.enqueue_point(make_point("p"), priority=1.5)
+        [row] = queue.tasks()
+        assert row.priority == 1.5
+        assert row.seconds is None
+
+
+class TestTimingHints:
+    def test_fresh_queue_has_no_hints(self, queue):
+        assert queue.timing_hints() == {}
+
+    def test_completed_seconds_become_hints(self, queue):
+        point = make_point("p")
+        queue.enqueue_point(point)
+        claimed = queue.claim("w")
+        assert queue.complete(claimed.task_key, "w", make_metrics(), seconds=2.5)
+        hints = queue.timing_hints()
+        assert hints == {point.cache_key(): 2.5}
+        [row] = queue.tasks()
+        assert row.seconds == 2.5
+
+    def test_hints_average_over_trials(self, tmp_path):
+        queue = WorkQueue(tmp_path / "queue", lease_seconds=10.0)
+        point = SweepPoint(
+            label="p",
+            pet=PETSpec(kind="spec", seed=5),
+            heuristic=HeuristicSpec(name="MM"),
+            workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
+            config=ExperimentConfig(trials=2, seed=5),
+        )
+        queue.enqueue_point(point)
+        for seconds in (2.0, 4.0):
+            claimed = queue.claim("w")
+            queue.complete(claimed.task_key, "w", make_metrics(), seconds=seconds)
+        assert queue.timing_hints() == {point.cache_key(): 3.0}
+
+    def test_completions_without_seconds_do_not_hint(self, queue):
+        queue.enqueue_point(make_point("p"))
+        claimed = queue.claim("w")
+        queue.complete(claimed.task_key, "w", make_metrics())
+        assert queue.timing_hints() == {}
+
+
+class TestLegacySchemaMigration:
+    def test_old_database_gains_columns_and_stays_fifo(self, tmp_path):
+        """A queue.sqlite created before the priority/seconds columns opens
+        cleanly, is migrated in place, and serves rows FIFO."""
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        legacy_schema = """
+        CREATE TABLE tasks (
+            task_key         TEXT PRIMARY KEY,
+            point_key        TEXT NOT NULL,
+            trial_index      INTEGER NOT NULL,
+            label            TEXT NOT NULL,
+            point_blob       BLOB NOT NULL,
+            status           TEXT NOT NULL DEFAULT 'pending',
+            attempts         INTEGER NOT NULL DEFAULT 0,
+            max_attempts     INTEGER NOT NULL,
+            lease_owner      TEXT,
+            lease_expires_at REAL,
+            result_json      TEXT,
+            error            TEXT,
+            enqueued_at      REAL NOT NULL,
+            updated_at       REAL NOT NULL
+        );
+        CREATE INDEX tasks_status ON tasks (status, lease_expires_at);
+        """
+        with closing(sqlite3.connect(queue_dir / "queue.sqlite")) as conn:
+            conn.executescript(legacy_schema)
+            conn.execute(
+                "INSERT INTO tasks (task_key, point_key, trial_index, label, point_blob,"
+                " status, max_attempts, enqueued_at, updated_at)"
+                " VALUES ('k:00000', 'k', 0, 'legacy', ?, 'pending', 3, 1.0, 1.0)",
+                (pickle.dumps(make_point("legacy")),),
+            )
+            conn.commit()
+
+        queue = WorkQueue(queue_dir)
+        [row] = queue.tasks()
+        assert row.priority == 0.0 and row.seconds is None
+        claimed = queue.claim("w")
+        assert claimed.point.label == "legacy"
+        assert queue.complete(claimed.task_key, "w", make_metrics(), seconds=1.25)
+        assert queue.timing_hints() == {"k": 1.25}
+
+    def test_reopening_migrated_database_is_idempotent(self, tmp_path):
+        WorkQueue(tmp_path / "queue")
+        WorkQueue(tmp_path / "queue")  # second open must not re-ALTER

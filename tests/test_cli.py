@@ -468,3 +468,59 @@ class TestCacheCommands:
         )
         assert "removed 1 artefact(s)" in capsys.readouterr().out
         assert not path.exists()
+
+
+class TestServeCommands:
+    def test_run_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "run"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["serve", "run", "--socket", "/tmp/s.sock"])
+        assert args.serve_command == "run"
+        assert args.pet == "transcoding"
+        assert args.heuristic == "PAMF"
+        assert args.drain_grace == 5.0
+
+    def test_submit_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "submit", "--socket", "/tmp/s.sock"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "serve", "submit", "--socket", "/tmp/s.sock",
+                    "--trace", "t.json", "--task", "1", "0", "0", "50",
+                ]
+            )
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["serve", "bench"])
+        assert args.serve_command == "bench"
+        assert args.trace == "examples/transcoding_660.trace.json"
+        assert args.rates == [10.0, 100.0, 1000.0]
+        assert args.out == "BENCH_serve.json"
+        assert not args.no_check
+
+    def test_bench_rejects_nonpositive_rate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "bench", "--rates", "0"])
+
+    def test_bench_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        exit_code = main(
+            [
+                "serve", "bench",
+                "--trace", "examples/transcoding_660.trace.json",
+                "--tasks", "12",
+                "--rates", "500", "5000",
+                "--out", str(out),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "replay-equivalent to offline run: True" in captured.out
+        assert f"wrote {out}" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "repro.serve"
+        assert payload["trace_tasks"] == 12
+        assert [row["multiplier"] for row in payload["rates"]] == [500.0, 5000.0]
