@@ -1,0 +1,117 @@
+"""End-to-end scale gate: 100k-task traces through the event-heap engine.
+
+The PR 7 acceptance gate: a production-scale synthetic trace (the
+``"scale"`` builder, load-calibrated to the same oversubscription regime at
+any task count) must run end-to-end through both engine modes, and batched
+scheduling rounds must beat the per-event heap loop by at least 2x at scale.
+Measurements are merged into ``BENCH_scale.json`` at the repo root (or
+wherever ``REPRO_BENCH_SCALE`` points) so CI uploads them alongside the
+micro and serve artefacts.
+
+The task count is environment-scaled so the same gate serves three tiers::
+
+    pytest benchmarks/test_bench_scale.py                      # 2k  (tier-1)
+    REPRO_SCALE_TASKS=10000  pytest benchmarks/test_bench_scale.py   # CI scale-smoke
+    REPRO_SCALE_TASKS=100000 pytest benchmarks/test_bench_scale.py   # full gate
+
+The >= 2x batched-rounds speedup is enforced from 10k tasks up (the scale
+the ISSUE names); below that the ratio is still measured and recorded, with
+a loose >= 1.2x floor so a regression that erases batching entirely fails
+even the tier-1 run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from _artefacts import record_bench
+
+from repro.heuristics.registry import make_heuristic
+from repro.pet.builders import build_spec_pet
+from repro.simulator.engine import HCSimulator, SimulatorConfig
+from repro.workload.scale import SCALE_TRACE_SEED, scale_trace
+
+#: Round window for the batched mode: ~10x the scale trace's mean
+#: inter-arrival gap (~12 time units at load factor 1.15), at any task count.
+BATCH_WINDOW = 120
+
+BENCH_SCALE_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_SCALE", Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+    )
+)
+
+
+def _num_tasks() -> int:
+    return int(os.environ.get("REPRO_SCALE_TASKS", "2000"))
+
+
+def _run(pet, trace, *, window: int) -> tuple[float, object]:
+    heuristic = make_heuristic("PAMF", num_task_types=pet.num_task_types)
+    sim = HCSimulator(
+        pet, heuristic, config=SimulatorConfig(batch_window=window), rng=SCALE_TRACE_SEED
+    )
+    start = time.perf_counter()
+    result = sim.run(trace)
+    return time.perf_counter() - start, result
+
+
+def test_bench_scale_trace_end_to_end():
+    num_tasks = _num_tasks()
+    pet = build_spec_pet(rng=SCALE_TRACE_SEED)
+
+    build_start = time.perf_counter()
+    trace = scale_trace(num_tasks=num_tasks)
+    build_seconds = time.perf_counter() - build_start
+
+    heap_seconds, heap_result = _run(pet, trace, window=0)
+    batched_seconds, batched_result = _run(pet, trace, window=BATCH_WINDOW)
+
+    # Both modes must fully account for every task (nothing stranded).
+    for result in (heap_result, batched_result):
+        counters = result.counters
+        terminal = (
+            counters.completions
+            + counters.evictions
+            + counters.deadline_miss_drops
+            + counters.proactive_drops
+        )
+        assert terminal == num_tasks
+    # Batching trades bounded mapping latency for throughput, not collapse:
+    # the on-time count stays in the same regime as the per-event loop.
+    heap_on_time = sum(1 for t in heap_result.tasks if t.on_time)
+    batched_on_time = sum(1 for t in batched_result.tasks if t.on_time)
+    assert batched_on_time >= 0.5 * heap_on_time
+    # Batched rounds must actually have batched.
+    assert batched_result.counters.mapping_events < heap_result.counters.mapping_events
+
+    speedup = heap_seconds / batched_seconds
+    record_bench(
+        "scale_trace_end_to_end",
+        {
+            "num_tasks": num_tasks,
+            "batch_window": BATCH_WINDOW,
+            "trace_build_s": round(build_seconds, 3),
+            "heap_window0_s": round(heap_seconds, 2),
+            "batched_s": round(batched_seconds, 2),
+            "heap_tasks_per_s": round(num_tasks / heap_seconds, 1),
+            "batched_tasks_per_s": round(num_tasks / batched_seconds, 1),
+            "heap_mapping_events": heap_result.counters.mapping_events,
+            "batched_mapping_events": batched_result.counters.mapping_events,
+            "heap_on_time": heap_on_time,
+            "batched_on_time": batched_on_time,
+            "speedup_batched_vs_heap": round(speedup, 2),
+            "gate": 2.0 if num_tasks >= 10_000 else 1.2,
+        },
+        path=BENCH_SCALE_PATH,
+    )
+
+    assert build_seconds < 10.0, "trace builder must stay vectorised-fast"
+    assert heap_seconds < 30 * 60, "per-event loop must finish in minutes"
+    gate = 2.0 if num_tasks >= 10_000 else 1.2
+    assert speedup >= gate, (
+        f"batched rounds only {speedup:.2f}x faster than the window=0 heap "
+        f"loop at {num_tasks} tasks (gate {gate}x)"
+    )

@@ -10,11 +10,16 @@ it at 10x arrival speed, and asserts that
 * the measured admission latencies are finite (a p99 exists and is a real
   number, i.e. the service actually timed every first decision).
 
-A small ``BENCH_serve.json`` is written as a CI artefact.
+The whole check runs once per engine mode: the per-event heap loop
+(``batch_window=0``) and batched scheduling rounds (``--batch-window``,
+default 60), each against an offline replay in the *same* mode.  A small
+``BENCH_serve.json`` is written per mode as a CI artefact (the batched
+run gets a ``_w<window>`` suffix).
 
 Usage::
 
     python scripts/serve_smoke.py [--tasks N] [--rate R] [--out FILE]
+                                  [--batch-window W]
 
 Exit status 1 (with the first divergence) on any mismatch.
 """
@@ -31,6 +36,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.heuristics import make_heuristic  # noqa: E402
 from repro.pet.builders import build_transcoding_pet  # noqa: E402
 from repro.serve import run_bench, slice_trace  # noqa: E402
+from repro.simulator.engine import SimulatorConfig  # noqa: E402
 from repro.workload.traces import load_trace  # noqa: E402
 
 REFERENCE_TRACE = Path(__file__).resolve().parent.parent / "examples" / "transcoding_660.trace.json"
@@ -42,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rate", type=float, default=10.0, help="arrival-rate multiplier")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--out", default="BENCH_serve.json", help="bench artefact path")
+    parser.add_argument(
+        "--batch-window",
+        type=int,
+        default=60,
+        help="round window of the batched-mode pass (0 skips it)",
+    )
     args = parser.parse_args(argv)
 
     trace = slice_trace(load_trace(REFERENCE_TRACE), args.tasks)
@@ -50,37 +62,44 @@ def main(argv: list[str] | None = None) -> int:
     def heuristic_factory():
         return make_heuristic("PAMF", num_task_types=pet.num_task_types)
 
-    print(f"serve smoke: {len(trace)} tasks at {args.rate:g}x vs offline replay")
-    try:
-        report = run_bench(
-            pet,
-            heuristic_factory,
-            trace,
-            heuristic_name="PAMF",
-            pet_kind="transcoding",
-            seed=args.seed,
-            rates=(args.rate,),
-            check_offline=True,
-            out_path=args.out,
-            progress=lambda message: print(f"  {message}"),
-        )
-    except RuntimeError as exc:
-        print(f"MISMATCH: {exc}", file=sys.stderr)
-        return 1
+    windows = [0] if args.batch_window == 0 else [0, args.batch_window]
+    for window in windows:
+        mode = "per-event heap loop" if window == 0 else f"batched rounds (W={window})"
+        out = Path(args.out)
+        if window:
+            out = out.with_name(f"{out.stem}_w{window}{out.suffix}")
+        print(f"serve smoke [{mode}]: {len(trace)} tasks at {args.rate:g}x vs offline replay")
+        try:
+            report = run_bench(
+                pet,
+                heuristic_factory,
+                trace,
+                heuristic_name="PAMF",
+                pet_kind="transcoding",
+                seed=args.seed,
+                rates=(args.rate,),
+                sim_config=SimulatorConfig(batch_window=window),
+                check_offline=True,
+                out_path=out,
+                progress=lambda message: print(f"  {message}"),
+            )
+        except RuntimeError as exc:
+            print(f"MISMATCH [{mode}]: {exc}", file=sys.stderr)
+            return 1
 
-    if report.equivalent_to_offline is not True:
-        print("MISMATCH: equivalence flag not set", file=sys.stderr)
-        return 1
-    rate = report.rates[0]
-    if not math.isfinite(rate.p99_ms):
-        print(f"BAD LATENCY: p99 is {rate.p99_ms!r}", file=sys.stderr)
-        return 1
-    print(
-        f"  {rate.decisions} decisions in {rate.wall_seconds:.3f}s "
-        f"({rate.decisions_per_sec:.0f}/s), admission p50 {rate.p50_ms:.2f}ms "
-        f"p99 {rate.p99_ms:.2f}ms, drop rate {100 * rate.drop_rate:.1f}%"
-    )
-    print(f"OK: decision stream bit-identical to offline replay; wrote {args.out}")
+        if report.equivalent_to_offline is not True:
+            print(f"MISMATCH [{mode}]: equivalence flag not set", file=sys.stderr)
+            return 1
+        rate = report.rates[0]
+        if not math.isfinite(rate.p99_ms):
+            print(f"BAD LATENCY [{mode}]: p99 is {rate.p99_ms!r}", file=sys.stderr)
+            return 1
+        print(
+            f"  {rate.decisions} decisions in {rate.wall_seconds:.3f}s "
+            f"({rate.decisions_per_sec:.0f}/s), admission p50 {rate.p50_ms:.2f}ms "
+            f"p99 {rate.p99_ms:.2f}ms, drop rate {100 * rate.drop_rate:.1f}%"
+        )
+        print(f"OK [{mode}]: decision stream bit-identical to offline replay; wrote {out}")
     return 0
 
 

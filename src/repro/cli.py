@@ -95,6 +95,7 @@ from .experiments import (
 )
 from .experiments.reporting import save_figure_result
 from .heuristics.registry import HEURISTIC_NAMES
+from .simulator.engine import SimulatorConfig
 from .sweep import BACKEND_NAMES, StreamReporter
 from .workload import (
     TRACE_BUILDERS,
@@ -160,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--warmup", type=int, default=50, help="tasks trimmed from the head")
     sim.add_argument("--cooldown", type=int, default=50, help="tasks trimmed from the tail")
+    sim.add_argument(
+        "--batch-window",
+        type=_non_negative_int,
+        default=0,
+        help="batched scheduling-round window in time units "
+        "(0 = map at every event, the paper's protocol)",
+    )
 
     fig = subparsers.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("number", type=int, choices=sorted(_FIGURES), help="figure number (4-9)")
@@ -342,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_run.add_argument("--seed", type=int, default=2019)
     serve_run.add_argument(
+        "--batch-window",
+        type=_non_negative_int,
+        default=0,
+        help="batched scheduling-round window in time units (0 = per-event)",
+    )
+    serve_run.add_argument(
         "--drain-grace",
         type=_positive_float,
         default=5.0,
@@ -473,9 +487,16 @@ def _command_simulate(args: argparse.Namespace) -> int:
     workload = WorkloadConfig(num_tasks=args.tasks, time_span=args.span, beta=args.beta)
     trace = generate_workload(workload, pet, rng=args.seed + 1)
     heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
-    result = simulate(pet, heuristic, trace, rng=args.seed + 2)
+    config = SimulatorConfig(batch_window=args.batch_window)
+    result = simulate(pet, heuristic, trace, config=config, rng=args.seed + 2)
 
     print(f"heuristic          : {args.heuristic}")
+    if args.batch_window:
+        print(
+            "engine mode        : "
+            f"batched rounds (window {args.batch_window}, "
+            f"{result.counters.mapping_events} mapping events)"
+        )
     print(f"tasks / span       : {args.tasks} / {args.span} (load {trace.offered_load(pet):.2f}x)")
     print(
         "robustness         : "
@@ -777,11 +798,17 @@ def _command_serve_run(args: argparse.Namespace) -> int:
     heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
 
     async def host() -> dict:
-        core = SchedulerCore(pet, heuristic, rng=args.seed + 2)
+        core = SchedulerCore(
+            pet,
+            heuristic,
+            config=SimulatorConfig(batch_window=args.batch_window),
+            rng=args.seed + 2,
+        )
         service = SchedulerService(core, args.socket, drain_grace=args.drain_grace)
         await service.start()
+        mode = f" (batched rounds, window {args.batch_window})" if args.batch_window else ""
         print(
-            f"serving {args.heuristic} on {service.socket_path} — Ctrl-C to stop",
+            f"serving {args.heuristic}{mode} on {service.socket_path} — Ctrl-C to stop",
             file=sys.stderr,
             flush=True,
         )

@@ -1,88 +1,33 @@
-"""Event-driven simulator of the oversubscribed HC system (paper Section III).
+"""Frozen pre-rework engine loop: the differential harness's reference.
 
-The engine drives a workload trace through the system model of the paper:
+This module is a verbatim snapshot of :class:`LegacyHCSimulator` as it stood
+before the event-heap rework (one mapping event per event timestamp, no
+typed events, no batched scheduling rounds).  It exists for exactly one
+purpose: the differential property suite in
+``tests/simulator/test_engine_equivalence.py`` replays traces through the
+reworked heap engine *and* through this loop and requires bit-identical
+decision sequences and metrics (atol=0) whenever ``batch_window=0``.
 
-* tasks arrive dynamically into a batch queue of unmapped tasks,
-* a *mapping event* fires whenever the scheduling policy is due (see the
-  two scheduling modes below); before each engine step, tasks whose
-  deadlines have already passed are removed from the system,
-* the active mapping heuristic examines the batch queue and the machine
-  queues and returns assignments (and, for pruning-aware heuristics,
-  proactive drops and deferrals),
-* machines process their bounded local queues FCFS with no preemption or
-  multitasking; actual execution times are sampled from the PET matrix,
-* optionally (default, matching the paper's hard-deadline semantics) an
-  executing task is evicted the moment its deadline passes.
-
-The engine is deterministic given a seeded ``numpy.random.Generator``.
-
-Everything the engine reacts to lives in one **global event heap**
-(:class:`~repro.simulator.events.EventManager`): arrivals, finishes,
-scheduling-round markers, and stream watermarks are typed events popped in
-``(time, kind, seq)`` order, following the Firmament-style trace
-simulators.  Two scheduling modes share that heap:
-
-* **per-event mapping** (``batch_window=0``, the default and the paper's
-  protocol) — a mapping event fires at every event timestamp, exactly as
-  the pre-rework loop did.  This mode is bit-identical (atol=0) to the
-  frozen :class:`~repro.simulator.legacy.LegacyHCSimulator`, which the
-  differential property suite pins.
-* **batched scheduling rounds** (``batch_window=W > 0``) — mapping events
-  fire at most once per ``W`` time units; all tasks arriving within the
-  window accumulate in the batch queue and are mapped together against a
-  single :class:`~repro.heuristics.scoring.ScoreTable` fill, amortising
-  the batched kernel calls across the round (Firmament's
-  ``simulator.cc::ReplaySimulation`` batch mode).  A ``ROUND`` marker in
-  the heap bounds round latency when no task event lands at the round
-  boundary.  Machines still pull from their local queues and deadline
-  drops still happen at every event timestamp — only the *mapping
-  decisions* are batched.
-
-The simulator owns a live :class:`~repro.simulator.state.SystemState`: the
-machines' availability chains persist across mapping events and every queue
-mutation below is paired with a notification that invalidates only the
-affected machine's chain suffix.  Mapping events read availability as views
-over that state (``MappingContext.machine_availability`` /
-``availability_batch``) and the heuristics' ``ScoreTable`` scores every
-(task, machine) candidate pair against it in a single batched kernel call.
-See ``docs/architecture.md`` for the full event-loop lifecycle.
-
-Two driving modes share the same event loop:
-
-* **batch replay** — :meth:`HCSimulator.run` pre-loads a whole trace and
-  drains the event heap to completion (the paper's protocol);
-* **externally-driven streaming** — :meth:`HCSimulator.begin_stream` /
-  :meth:`inject_task` / :meth:`advance_until` / :meth:`finish_stream` let a
-  caller (the :mod:`repro.serve` admission service) feed arrivals one at a
-  time and advance virtual time between them.  ``advance_until`` plants a
-  typed ``WATERMARK`` event and drains the heap up to it, so the frontier
-  is itself part of the heap discipline.  ``run`` is implemented on top of
-  these primitives, so a trace streamed in arrival order produces
-  bit-identical decisions to a batch replay of the same trace — in either
-  scheduling mode.
-
-An optional :class:`EngineObserver` receives per-task callbacks (assigned,
-terminal) and per-mapping-event callbacks as they happen, which is how the
-serving layer streams decisions without touching simulation semantics.
-Under batched rounds the assignments of one round surface through
-``on_assigned`` in ascending task-id order (a deterministic contract for
-consumers), and a task's terminal callback never precedes its assignment.
+Do not grow features here.  Behaviour changes belong in
+:mod:`repro.simulator.engine`; this reference only ever changes when a
+deliberate, gated semantics change is re-pinned.
 """
+
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol, Sequence
+import heapq
+import itertools
+from typing import Sequence
 
 import numpy as np
 
-from ..core.completion import DroppingPolicy
 from ..pet.matrix import PETMatrix
 from ..utils.rng import make_generator
 from ..workload.generator import WorkloadTrace
 from ..workload.spec import TaskSpec
 from .cost import default_prices_for
-from .events import EventKind, EventManager
+from .engine import EngineObserver, MappingHeuristicProtocol, SimulatorConfig
 from .machine import Machine
 from .mapping import (
     MappingContext,
@@ -94,104 +39,13 @@ from .metrics import SimulationCounters, SimulationResult
 from .state import SystemState
 from .task import DropReason, Task, TaskStatus
 
-__all__ = [
-    "SimulatorConfig",
-    "MappingHeuristicProtocol",
-    "EngineObserver",
-    "HCSimulator",
-    "simulate",
-]
+__all__ = ["LegacyHCSimulator", "legacy_simulate"]
+
+_ARRIVAL = 0
+_FINISH = 1
 
 
-class MappingHeuristicProtocol(Protocol):
-    """Structural interface every mapping heuristic implements."""
-
-    name: str
-
-    def map_tasks(self, context: MappingContext) -> MappingDecision:  # pragma: no cover
-        ...
-
-    def reset(self) -> None:  # pragma: no cover
-        ...
-
-
-class EngineObserver(Protocol):
-    """Callbacks the engine fires as decisions happen (all optional to act on).
-
-    Pure notifications: observers must not mutate engine state.  The serving
-    layer implements this to stream per-task decisions in real time; batch
-    replays run with ``observer=None`` and skip the calls entirely.
-
-    Ordering contract: within one mapping event, ``on_assigned`` callbacks
-    arrive in decision order in per-event mode and in ascending task-id
-    order under batched rounds (``batch_window > 0``); a task's
-    ``on_terminal`` callback never precedes its ``on_assigned``.
-    """
-
-    def on_assigned(self, task: Task, machine_index: int, now: int) -> None:  # pragma: no cover
-        ...
-
-    def on_terminal(self, task: Task) -> None:  # pragma: no cover
-        ...
-
-    def on_mapping_event(self, now: int, decision: MappingDecision) -> None:  # pragma: no cover
-        ...
-
-
-@dataclass(frozen=True)
-class SimulatorConfig:
-    """System-model parameters of the simulated HC system."""
-
-    #: Machine local-queue size, counting the executing task (paper: 6).
-    queue_capacity: int = 6
-    #: Evict an executing task the instant its deadline passes.  This matches
-    #: the hard-deadline semantics ("no value remains in executing the task")
-    #: and the evict-capable completion-time model (Section IV, case C).
-    evict_executing_at_deadline: bool = True
-    #: Impulse-aggregation cap used when propagating completion-time PMFs
-    #: (None = exact convolutions; 32 keeps mapping events fast).
-    max_impulses: int | None = 32
-    #: Condition the executing task's completion PMF on the current time at
-    #: every mapping event.  The paper anchors it at the start time instead
-    #: (default False), which also allows queue-chain caching.
-    condition_executing_on_now: bool = False
-    #: Verify the incremental :class:`~repro.simulator.state.SystemState`
-    #: against a from-scratch lockstep rebuild at every availability query
-    #: (raises on any bit-level divergence).  Test/diagnostic mode; the
-    #: equivalence suite runs seeded full trials with this enabled and
-    #: asserts the results are bit-identical to the default path.
-    state_cross_check: bool = False
-    #: Batched-scheduling-round window in time units.  ``0`` (default) maps
-    #: at every event timestamp — the paper's per-event protocol,
-    #: bit-identical to the pre-rework loop.  ``W > 0`` fires mapping
-    #: events at most once per ``W`` units: arrivals accumulate across the
-    #: round and are scored in one batched ``ScoreTable`` fill, which
-    #: amortises kernel calls on large traces at the cost of bounded extra
-    #: mapping latency (at most ``W`` time units per task).
-    batch_window: int = 0
-
-    def __post_init__(self) -> None:
-        if self.queue_capacity < 1:
-            raise ValueError("queue_capacity must be at least one")
-        if self.max_impulses is not None and self.max_impulses < 1:
-            raise ValueError("max_impulses must be at least one (or None)")
-        if self.batch_window < 0:
-            raise ValueError("batch_window must be non-negative")
-
-    @property
-    def dropping_policy(self) -> DroppingPolicy:
-        """Completion-time regime matching the configured system behaviour."""
-        return DroppingPolicy.EVICT if self.evict_executing_at_deadline else DroppingPolicy.PENDING
-
-
-# Module-level aliases keep the inner loop free of attribute lookups on the
-# enum class (popped hundreds of thousands of times on large traces).
-_WATERMARK = int(EventKind.WATERMARK)
-_ARRIVAL = int(EventKind.ARRIVAL)
-_FINISH = int(EventKind.FINISH)
-
-
-class HCSimulator:
+class LegacyHCSimulator:
     """Discrete-event simulator binding a PET matrix, machines, and a heuristic."""
 
     def __init__(
@@ -206,6 +60,10 @@ class HCSimulator:
         self.pet = pet
         self.heuristic = heuristic
         self.config = config or SimulatorConfig()
+        if self.config.batch_window:
+            raise ValueError(
+                "the legacy reference loop has no batched rounds; use batch_window=0"
+            )
         prices = (
             list(machine_prices)
             if machine_prices is not None
@@ -222,11 +80,10 @@ class HCSimulator:
         self.state: SystemState | None = None
         #: Optional decision-stream observer (see :class:`EngineObserver`).
         self.observer: EngineObserver | None = None
-        #: The single global event heap (arrivals, finishes, rounds,
-        #: watermarks as typed events).
-        self.events = EventManager()
         self.tasks: dict[int, Task] = {}
         self._batch: dict[int, Task] = {}
+        self._events: list[tuple[int, int, int, int]] = []
+        self._seq = itertools.count()
         self._counters = SimulationCounters()
         self._misses_since_event = 0
         self._terminal_since_event: list[TerminalEvent] = []
@@ -234,12 +91,6 @@ class HCSimulator:
         #: Latest event timestamp fully processed in streaming mode; arrivals
         #: at or before this instant can no longer join their mapping event.
         self._processed_through = -1
-        #: Next instant a scheduling round is due (batched-rounds mode);
-        #: ``None`` until the first engine step fires the first round.
-        self._next_round_at: int | None = None
-        #: Timestamp of the latest ROUND marker pushed, so each round
-        #: boundary is scheduled into the heap at most once.
-        self._round_event_at: int | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -277,7 +128,7 @@ class HCSimulator:
             )
         task = Task(spec)
         self.tasks[spec.task_id] = task
-        self.events.push(spec.arrival, EventKind.ARRIVAL, spec.task_id)
+        self._push_event(spec.arrival, _ARRIVAL, spec.task_id)
         return task
 
     def advance_until(self, time: int) -> None:
@@ -286,24 +137,13 @@ class HCSimulator:
         Events at ``time`` itself stay pending so late-but-simultaneous
         arrivals can still join their mapping event — the caller advances
         past an instant only once it knows no more arrivals carry it.
-
-        The frontier is a typed ``WATERMARK`` event planted in the heap: it
-        sorts ahead of every real event at its own timestamp, so draining
-        stops the moment the watermark surfaces — before the guarded
-        instant is opened.
         """
-        events = self.events
-        events.push(time, EventKind.WATERMARK)
-        while True:
-            head = events.peek()
-            if head[1] == _WATERMARK:
-                events.pop()
-                return
+        while self._events and self._events[0][0] < time:
             self._step_once()
 
     def finish_stream(self) -> SimulationResult:
         """Drain all pending events, finalise, and return the metrics."""
-        while self.events:
+        while self._events:
             self._step_once()
         self._finalise_unfinished_tasks()
         ordered = tuple(
@@ -321,49 +161,21 @@ class HCSimulator:
 
     @property
     def pending_events(self) -> int:
-        """Pending *task* events (arrivals/finishes) still in the heap.
-
-        Round markers and watermarks are bookkeeping, not workload, and are
-        excluded from the count.
-        """
-        return self.events.count_kind(EventKind.ARRIVAL) + self.events.count_kind(
-            EventKind.FINISH
-        )
+        """Number of events still waiting in the heap (streaming mode)."""
+        return len(self._events)
 
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
     def _step_once(self) -> None:
-        """Process one event timestamp: events, drops, mapping policy, starts."""
-        events = self.events
-        now = events.next_time()
+        """Process one event timestamp: events, drops, mapping, starts."""
+        now = self._events[0][0]
         self._now = now
-        tasks = self.tasks
-        batch = self._batch
-        while events.pending_at(now):
-            _, kind, _, task_id = events.pop()
-            if kind == _ARRIVAL:
-                batch[task_id] = tasks[task_id]
-            elif kind == _FINISH:
-                self._handle_finish(tasks[task_id], now)
-            # ROUND markers (and defensively, stray watermarks) carry no
-            # payload: popping one is what forces this step to exist.
+        self._process_events_at(now)
         self._drop_missed_tasks(now)
-        window = self.config.batch_window
-        if window == 0 or self._next_round_at is None or now >= self._next_round_at:
-            # Per-event mode, or a scheduling round is due: map now.  The
-            # next round is anchored at this firing instant.
-            self._run_mapping_event(now)
-            self._next_round_at = now + window
-        elif batch and self._round_event_at != self._next_round_at:
-            # Mid-round step left unmapped tasks behind: make sure the round
-            # boundary itself exists in the heap, or a quiet stretch (no
-            # arrivals, no finishes) would strand them past the window.
-            self._round_event_at = self._next_round_at
-            events.push(self._next_round_at, EventKind.ROUND)
+        self._run_mapping_event(now)
         self._start_executions(now)
         self._processed_through = now
-
     def _reset_state(self) -> None:
         self.machines = [
             Machine(
@@ -384,14 +196,25 @@ class HCSimulator:
         )
         self.tasks = {}
         self._batch = {}
-        self.events = EventManager()
+        self._events = []
+        self._seq = itertools.count()
         self._counters = SimulationCounters()
         self._misses_since_event = 0
         self._terminal_since_event = []
         self._now = 0
         self._processed_through = -1
-        self._next_round_at = None
-        self._round_event_at = None
+
+    def _push_event(self, time: int, kind: int, task_id: int) -> None:
+        heapq.heappush(self._events, (int(time), kind, next(self._seq), task_id))
+
+    def _process_events_at(self, now: int) -> None:
+        while self._events and self._events[0][0] == now:
+            _, kind, _, task_id = heapq.heappop(self._events)
+            task = self.tasks[task_id]
+            if kind == _ARRIVAL:
+                self._batch[task_id] = task
+            elif kind == _FINISH:
+                self._handle_finish(task, now)
 
     def _handle_finish(self, task: Task, now: int) -> None:
         # The task may have been proactively dropped after this event was
@@ -479,12 +302,6 @@ class HCSimulator:
             self._counters.proactive_drops += 1
             self._record_terminal(task)
 
-        # Assignments are *applied* in decision order (that order decides who
-        # wins the last free slot); under batched rounds the observer sees
-        # them in ascending task-id order — the deterministic contract for
-        # round consumers — while per-event mode keeps the legacy decision
-        # order so the decision stream stays bit-identical to the old loop.
-        applied: list[tuple[Task, int]] = []
         for assignment in decision.assignments:
             machine = self.machines[assignment.machine_index]
             task = self.tasks[assignment.task_id]
@@ -497,12 +314,7 @@ class HCSimulator:
             self.state.notify_enqueue(machine.index, task)
             self._counters.assignments += 1
             if self.observer is not None:
-                applied.append((task, machine.index))
-        if self.observer is not None and applied:
-            if self.config.batch_window > 0:
-                applied.sort(key=lambda pair: pair[0].task_id)
-            for task, machine_index in applied:
-                self.observer.on_assigned(task, machine_index, now)
+                self.observer.on_assigned(task, machine.index, now)
 
         self._counters.deferrals += len(decision.deferrals)
 
@@ -519,11 +331,9 @@ class HCSimulator:
                     self.config.evict_executing_at_deadline
                     and finish_time > task.deadline
                 ):
-                    self.events.push(
-                        max(task.deadline, now + 1), EventKind.FINISH, task.task_id
-                    )
+                    self._push_event(max(task.deadline, now + 1), _FINISH, task.task_id)
                 else:
-                    self.events.push(finish_time, EventKind.FINISH, task.task_id)
+                    self._push_event(finish_time, _FINISH, task.task_id)
 
     def _finalise_unfinished_tasks(self) -> None:
         """Terminate tasks stranded when the event queue drains.
@@ -559,7 +369,7 @@ class HCSimulator:
         self._now = end_time
 
 
-def simulate(
+def legacy_simulate(
     pet: PETMatrix,
     heuristic: MappingHeuristicProtocol,
     trace: WorkloadTrace,
@@ -568,8 +378,8 @@ def simulate(
     machine_prices: Sequence[float] | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> SimulationResult:
-    """One-call convenience wrapper: build an :class:`HCSimulator` and run it."""
-    sim = HCSimulator(
+    """One-call convenience wrapper: build an :class:`LegacyHCSimulator` and run it."""
+    sim = LegacyHCSimulator(
         pet, heuristic, config=config, machine_prices=machine_prices, rng=rng
     )
     return sim.run(trace)

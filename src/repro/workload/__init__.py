@@ -7,6 +7,13 @@ from .arrivals import (
 )
 from .deadlines import DeadlineModel, deadline_for
 from .generator import WorkloadConfig, WorkloadTrace, generate_workload
+from .scale import (
+    SCALE_TRACE_SEED,
+    SCALE_TRACE_TASKS,
+    ScaleTraceConfig,
+    generate_scale_trace,
+    scale_trace,
+)
 from .spec import TaskSpec
 from .traces import (
     file_content_hash,
@@ -45,4 +52,9 @@ __all__ = [
     "build_named_trace",
     "generate_transcoding_trace",
     "reference_transcoding_trace",
+    "ScaleTraceConfig",
+    "generate_scale_trace",
+    "scale_trace",
+    "SCALE_TRACE_TASKS",
+    "SCALE_TRACE_SEED",
 ]

@@ -162,10 +162,49 @@ def trace_from_dict(payload: Mapping) -> WorkloadTrace:
 
 
 def save_trace(trace: WorkloadTrace, path: str | Path) -> Path:
-    """Write a trace to a JSON file and return the path."""
+    """Write a trace to a JSON file and return the path.
+
+    The file is streamed task by task: the full serialised dict of a
+    100k-task trace costs tens of megabytes of transient allocations, so the
+    header is written first and each task record is appended individually.
+    The bytes produced are identical to
+    ``json.dumps(trace_to_dict(trace), indent=2)``, which keeps content
+    hashes of previously recorded files stable.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace_to_dict(trace), indent=2))
+    header = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "config": {
+            "num_tasks": trace.config.num_tasks,
+            "time_span": trace.config.time_span,
+            "beta": trace.config.beta,
+            "variance_fraction": trace.config.variance_fraction,
+        },
+        "num_task_types": trace.num_task_types,
+    }
+    with path.open("w", encoding="utf-8") as fh:
+        head = json.dumps(header, indent=2)
+        # ``head`` ends with '\n}'; splice the tasks array in as the last key.
+        fh.write(head[: -len("\n}")])
+        if len(trace) == 0:
+            fh.write(',\n  "tasks": []\n}')
+            return path
+        fh.write(',\n  "tasks": [')
+        first = True
+        for task in trace:
+            fh.write(
+                ("" if first else ",")
+                + "\n    {"
+                + f'\n      "task_id": {task.task_id},'
+                + f'\n      "task_type": {task.task_type},'
+                + f'\n      "arrival": {task.arrival},'
+                + f'\n      "deadline": {task.deadline}'
+                + "\n    }"
+            )
+            first = False
+        fh.write("\n  ]\n}")
     return path
 
 

@@ -35,6 +35,7 @@ from ..pet.matrix import PETMatrix
 from ..utils.rng import make_generator
 from .arrivals import gamma_interarrival_times
 from .generator import WorkloadConfig, WorkloadTrace
+from .scale import scale_trace
 from .spec import TaskSpec
 
 __all__ = [
@@ -231,6 +232,7 @@ TRACE_BUILDERS: Mapping[str, Callable[[int, int | None], WorkloadTrace]] = {
     "transcoding-660": lambda seed, num_tasks: reference_transcoding_trace(
         seed=seed, num_tasks=num_tasks
     ),
+    "scale": lambda seed, num_tasks: scale_trace(seed=seed, num_tasks=num_tasks),
 }
 
 

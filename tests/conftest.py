@@ -37,7 +37,7 @@ def _deterministic_pmf(values: dict[int, float]) -> DiscretePMF:
     return DiscretePMF.from_impulses(values)
 
 
-@pytest.fixture
+@pytest.fixture(scope="session")
 def tiny_pet() -> PETMatrix:
     """A 3-task-type x 2-machine PET with hand-written, inconsistent PMFs.
 

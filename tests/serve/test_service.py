@@ -28,7 +28,7 @@ from repro.serve import (
     spec_from_payload,
     spec_to_payload,
 )
-from repro.simulator.engine import HCSimulator
+from repro.simulator.engine import HCSimulator, SimulatorConfig
 from repro.workload.spec import TaskSpec
 from repro.workload.traces import load_trace
 
@@ -71,6 +71,43 @@ class TestReplayEquivalence:
         assert len(streamed_map) == len(trace) == 660
         assert streamed_map == offline_decision_map(offline)
         assert core.result.summary() == offline.summary()
+
+    @pytest.mark.parametrize("window", [6, 20])
+    def test_batched_rounds_streamed_matches_offline(
+        self, small_gamma_pet, small_trace, window
+    ):
+        """Streaming equals batch replay in batched-rounds mode too."""
+        config = SimulatorConfig(batch_window=window)
+        core = SchedulerCore(
+            small_gamma_pet, _heuristic(small_gamma_pet), config=config, rng=5
+        )
+        decisions = []
+        for spec in small_trace:
+            decisions.extend(core.submit(spec))
+        decisions.extend(core.close())
+        offline = HCSimulator(
+            small_gamma_pet, _heuristic(small_gamma_pet), config=config, rng=5
+        ).run(small_trace)
+        assert decision_map(decisions) == offline_decision_map(offline)
+        assert core.result.summary() == offline.summary()
+
+    def test_reference_trace_batched_rounds_pinned(self):
+        """transcoding_660 + PAMF under batched rounds: served vs offline."""
+        trace = load_trace(REFERENCE_TRACE)
+        pet = build_transcoding_pet(rng=2019)
+        config = SimulatorConfig(batch_window=60)
+        core = SchedulerCore(pet, _heuristic(pet), config=config, rng=2021)
+        decisions = []
+        for spec in trace:
+            decisions.extend(core.submit(spec))
+        decisions.extend(core.close())
+        offline = HCSimulator(pet, _heuristic(pet), config=config, rng=2021).run(trace)
+        streamed_map = decision_map(decisions)
+        assert len(streamed_map) == len(trace) == 660
+        assert streamed_map == offline_decision_map(offline)
+        assert core.result.summary() == offline.summary()
+        # Batching must actually have batched: far fewer rounds than events.
+        assert core.result.counters.mapping_events < len(trace)
 
     def test_simultaneous_arrivals_share_a_mapping_event(self, small_gamma_pet, small_trace):
         """Tasks submitted one by one with equal arrivals still batch."""

@@ -1,0 +1,343 @@
+"""Differential property harness: heap engine vs the frozen legacy loop.
+
+The PR 7 rework rebuilt :class:`~repro.simulator.engine.HCSimulator` around
+a single global event heap with optional batched scheduling rounds.  The
+pre-rework loop is frozen verbatim as
+:class:`~repro.simulator.legacy.LegacyHCSimulator`, and this suite is the
+gate that the rework changed nothing observable at ``batch_window=0``:
+
+* **Hypothesis differential tests** — random traces replayed through both
+  loops must produce identical *decision sequences* (every observer
+  callback, in order) and identical metrics, with atol=0;
+* the same holds when the heap engine is driven through the **streaming
+  API** (``begin_stream``/``inject_task``/``advance_until``) instead of
+  batch replay, including mid-trace time advancement;
+* the **660-task reference trace** is pinned heuristic by heuristic;
+* under **batched rounds** (``batch_window > 0``) the engine keeps its
+  documented contracts: streaming equals batch replay, observer
+  ``on_assigned`` callbacks of one round surface in ascending task-id
+  order, a terminal callback never precedes its task's assignment, and a
+  ``ROUND`` marker bounds mapping latency even across quiet stretches.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics import make_heuristic
+from repro.pet.builders import build_transcoding_pet
+from repro.simulator.engine import HCSimulator, SimulatorConfig
+from repro.simulator.events import EventKind
+from repro.simulator.legacy import LegacyHCSimulator
+from repro.workload.generator import WorkloadConfig, WorkloadTrace
+from repro.workload.spec import TaskSpec
+from repro.workload.traces import load_trace
+
+REFERENCE_TRACE = (
+    Path(__file__).resolve().parent.parent.parent
+    / "examples"
+    / "transcoding_660.trace.json"
+)
+
+HEURISTICS = ["MM", "PAM", "PAMF"]
+
+
+class RecordingObserver:
+    """Records every engine callback, in order, as comparable tuples."""
+
+    def __init__(self) -> None:
+        self.log: list[tuple] = []
+
+    def on_assigned(self, task, machine_index, now):
+        self.log.append(("assigned", task.task_id, machine_index, now))
+
+    def on_terminal(self, task):
+        self.log.append(
+            ("terminal", task.task_id, task.status.value, task.on_time)
+        )
+
+    def on_mapping_event(self, now, decision):
+        self.log.append(
+            (
+                "mapping",
+                now,
+                tuple((a.task_id, a.machine_index) for a in decision.assignments),
+                tuple((d.task_id, d.machine_index) for d in decision.queue_drops),
+                tuple(decision.deferrals),
+            )
+        )
+
+
+def _signature(result):
+    return (
+        tuple(
+            (
+                t.task_id,
+                t.status.value,
+                t.machine,
+                t.mapped_at,
+                t.exec_start,
+                t.exec_end,
+                t.actual_execution_time,
+                t.dropped_at,
+                t.drop_reason,
+                t.times_deferred,
+            )
+            for t in result.tasks
+        ),
+        result.counters.as_dict(),
+        result.machine_busy_times,
+        result.end_time,
+    )
+
+
+def _run_legacy(pet, trace, *, heuristic="PAMF", seed=17):
+    sim = LegacyHCSimulator(
+        pet, make_heuristic(heuristic, num_task_types=pet.num_task_types), rng=seed
+    )
+    observer = RecordingObserver()
+    sim.observer = observer
+    return sim.run(trace), observer.log
+
+
+def _run_heap(pet, trace, *, heuristic="PAMF", seed=17, config=None, streamed=False):
+    sim = HCSimulator(
+        pet,
+        make_heuristic(heuristic, num_task_types=pet.num_task_types),
+        config=config,
+        rng=seed,
+    )
+    observer = RecordingObserver()
+    sim.observer = observer
+    if not streamed:
+        return sim.run(trace), observer.log
+    sim.begin_stream()
+    for spec in trace:
+        # The serving layer's admission pattern: time advances to each
+        # arrival before it is injected, so the engine steps mid-trace.
+        sim.advance_until(spec.arrival)
+        sim.inject_task(spec)
+    return sim.finish_stream(), observer.log
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def traces(draw, *, max_tasks: int = 20, num_types: int = 3) -> WorkloadTrace:
+    """Short, bursty, tightly-deadlined traces over the tiny 2-machine PET.
+
+    Deadlines are drawn tight enough that drops, evictions and deferrals
+    all occur, which is where the two loops could plausibly diverge.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_tasks))
+    specs = []
+    for task_id in range(n):
+        arrival = draw(st.integers(min_value=0, max_value=80))
+        slack = draw(st.integers(min_value=1, max_value=60))
+        task_type = draw(st.integers(min_value=0, max_value=num_types - 1))
+        specs.append(
+            TaskSpec(
+                arrival=arrival,
+                task_id=task_id,
+                task_type=task_type,
+                deadline=arrival + slack,
+            )
+        )
+    specs.sort()
+    config = WorkloadConfig(num_tasks=n, time_span=100)
+    return WorkloadTrace(tuple(specs), config, num_task_types=num_types)
+
+
+# ----------------------------------------------------------------------
+# Differential: heap loop vs legacy loop at batch_window=0
+# ----------------------------------------------------------------------
+
+
+class TestHeapMatchesLegacy:
+    @given(trace=traces(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_replay_identical(self, tiny_pet, trace, data):
+        heuristic = data.draw(st.sampled_from(HEURISTICS))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        legacy_result, legacy_log = _run_legacy(
+            tiny_pet, trace, heuristic=heuristic, seed=seed
+        )
+        heap_result, heap_log = _run_heap(
+            tiny_pet, trace, heuristic=heuristic, seed=seed
+        )
+        assert heap_log == legacy_log
+        assert _signature(heap_result) == _signature(legacy_result)
+
+    @given(trace=traces(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_mid_trace_stream_injection_identical(self, tiny_pet, trace, data):
+        heuristic = data.draw(st.sampled_from(HEURISTICS))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        legacy_result, legacy_log = _run_legacy(
+            tiny_pet, trace, heuristic=heuristic, seed=seed
+        )
+        heap_result, heap_log = _run_heap(
+            tiny_pet, trace, heuristic=heuristic, seed=seed, streamed=True
+        )
+        assert heap_log == legacy_log
+        assert _signature(heap_result) == _signature(legacy_result)
+
+    @given(trace=traces(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_explicit_window_zero_config_identical(self, tiny_pet, trace, seed):
+        """``batch_window=0`` spelled out is the per-event legacy protocol."""
+        legacy_result, legacy_log = _run_legacy(tiny_pet, trace, seed=seed)
+        heap_result, heap_log = _run_heap(
+            tiny_pet, trace, seed=seed, config=SimulatorConfig(batch_window=0)
+        )
+        assert heap_log == legacy_log
+        assert _signature(heap_result) == _signature(legacy_result)
+
+    @given(
+        trace=traces(),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        window=st.sampled_from([1, 3, 7, 15]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batched_streaming_equals_batched_replay(self, tiny_pet, trace, seed, window):
+        """Rounds depend only on event times + window, not the driving mode."""
+        config = SimulatorConfig(batch_window=window)
+        replay_result, replay_log = _run_heap(tiny_pet, trace, seed=seed, config=config)
+        stream_result, stream_log = _run_heap(
+            tiny_pet, trace, seed=seed, config=config, streamed=True
+        )
+        assert stream_log == replay_log
+        assert _signature(stream_result) == _signature(replay_result)
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_reference_trace_pinned_against_legacy(heuristic):
+    """Acceptance gate: 660-task reference trace, heap vs legacy, atol=0."""
+    trace = load_trace(REFERENCE_TRACE)
+    pet = build_transcoding_pet(rng=2019)
+    legacy_result, legacy_log = _run_legacy(pet, trace, heuristic=heuristic, seed=2021)
+    heap_result, heap_log = _run_heap(pet, trace, heuristic=heuristic, seed=2021)
+    assert heap_log == legacy_log
+    assert _signature(heap_result) == _signature(legacy_result)
+
+
+def test_legacy_loop_refuses_batched_rounds(tiny_pet):
+    heuristic = make_heuristic("MM", num_task_types=tiny_pet.num_task_types)
+    with pytest.raises(ValueError, match="legacy reference loop"):
+        LegacyHCSimulator(
+            tiny_pet, heuristic, config=SimulatorConfig(batch_window=4)
+        )
+
+
+# ----------------------------------------------------------------------
+# Batched-rounds contracts (observer ordering, round latency, markers)
+# ----------------------------------------------------------------------
+
+
+def _burst_trace(num_tasks: int = 18, *, spread: int = 40, slack: int = 120) -> WorkloadTrace:
+    """A dense burst over the tiny PET: several arrivals per round window."""
+    specs = tuple(
+        TaskSpec(
+            arrival=1 + (i * spread) // num_tasks,
+            task_id=i,
+            task_type=i % 3,
+            deadline=1 + (i * spread) // num_tasks + slack,
+        )
+        for i in range(num_tasks)
+    )
+    return WorkloadTrace(specs, WorkloadConfig(num_tasks=num_tasks, time_span=spread + 1))
+
+
+class TestBatchedRoundContracts:
+    @pytest.mark.parametrize("window", [5, 10, 25])
+    def test_round_assignments_surface_in_task_id_order(self, tiny_pet, window):
+        _, log = _run_heap(
+            tiny_pet,
+            _burst_trace(),
+            seed=3,
+            config=SimulatorConfig(batch_window=window),
+        )
+        rounds_with_assignments = 0
+        current_round: list[int] = []
+        for entry in log:
+            if entry[0] == "assigned":
+                current_round.append(entry[1])
+            else:
+                # Any non-assignment callback ends the contiguous run of
+                # one round's assignment callbacks.
+                if len(current_round) > 1:
+                    rounds_with_assignments += 1
+                    assert current_round == sorted(current_round)
+                current_round = []
+        assert rounds_with_assignments >= 1, "burst should batch multiple assignments"
+
+    @pytest.mark.parametrize("window", [0, 7])
+    def test_terminal_never_precedes_assignment(self, tiny_pet, window):
+        result, log = _run_heap(
+            tiny_pet,
+            _burst_trace(),
+            seed=3,
+            config=SimulatorConfig(batch_window=window),
+        )
+        assigned_at: dict[int, int] = {}
+        for index, entry in enumerate(log):
+            if entry[0] == "assigned":
+                assigned_at[entry[1]] = index
+            elif entry[0] == "terminal":
+                task_id = entry[1]
+                if task_id in assigned_at:
+                    assert assigned_at[task_id] < index
+        # Every task that reached a machine must have surfaced via on_assigned.
+        mapped = {t.task_id for t in result.tasks if t.machine is not None}
+        assert mapped == set(assigned_at)
+
+    def test_round_marker_bounds_mapping_latency(self, tiny_pet):
+        """A mid-round arrival with no later events still maps at the round
+        boundary: the ROUND marker forces the step."""
+        window = 10
+        specs = (
+            TaskSpec(arrival=0, task_id=0, task_type=0, deadline=200),
+            # Arrives mid-round; nothing else happens until far later, so
+            # only the ROUND marker at t=10 can trigger its mapping.
+            TaskSpec(arrival=3, task_id=1, task_type=1, deadline=200),
+        )
+        trace = WorkloadTrace(specs, WorkloadConfig(num_tasks=2, time_span=4))
+        sim = HCSimulator(
+            tiny_pet,
+            make_heuristic("MM", num_task_types=tiny_pet.num_task_types),
+            config=SimulatorConfig(batch_window=window),
+            rng=1,
+        )
+        result = sim.run(trace)
+        tasks = {t.task_id: t for t in result.tasks}
+        assert tasks[0].mapped_at == 0  # first step fires the first round
+        assert tasks[1].mapped_at == window
+
+    def test_round_markers_do_not_leak_into_pending_events(self, tiny_pet):
+        sim = HCSimulator(
+            tiny_pet,
+            make_heuristic("MM", num_task_types=tiny_pet.num_task_types),
+            config=SimulatorConfig(batch_window=10),
+            rng=1,
+        )
+        sim.begin_stream()
+        sim.inject_task(TaskSpec(arrival=0, task_id=0, task_type=0, deadline=200))
+        sim.inject_task(TaskSpec(arrival=3, task_id=1, task_type=1, deadline=200))
+        sim.advance_until(4)
+        # Task 1 is parked until the round fires; the ROUND marker sits in
+        # the heap but is not a pending *task* event.
+        assert sim.events.count_kind(EventKind.ROUND) == 1
+        assert sim.pending_events == sim.events.count_kind(EventKind.FINISH)
+        sim.finish_stream()
+        assert len(sim.events) == 0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="batch_window"):
+            SimulatorConfig(batch_window=-1)

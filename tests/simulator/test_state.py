@@ -266,14 +266,18 @@ def _signature(result):
     )
 
 
+@pytest.mark.parametrize("batch_window", [0, 25])
 @pytest.mark.parametrize("heuristic_name", ["MM", "PAM", "PAMF"])
-def test_full_trial_incremental_vs_rebuild_cross_check(spec_pet_small, heuristic_name):
+def test_full_trial_incremental_vs_rebuild_cross_check(
+    spec_pet_small, heuristic_name, batch_window
+):
     """Seeded fig4-scale trials: incremental state vs forced rebuild cross-check.
 
     The cross-check run re-derives every queried chain from scratch through
     the lockstep rebuild kernel and raises on any bit-level divergence; on
     top of that the trial-level metrics must be bit-identical to the plain
-    incremental run.
+    incremental run.  Runs in both engine modes: per-event (``window=0``)
+    and batched scheduling rounds.
     """
     trace = generate_workload(
         WorkloadConfig(num_tasks=250, time_span=1000, beta=1.2), spec_pet_small, rng=5
@@ -286,8 +290,10 @@ def test_full_trial_incremental_vs_rebuild_cross_check(spec_pet_small, heuristic
         sim = HCSimulator(spec_pet_small, heuristic, config=config, rng=17)
         return sim.run(trace)
 
-    incremental = run(SimulatorConfig())
-    crosschecked = run(SimulatorConfig(state_cross_check=True))
+    incremental = run(SimulatorConfig(batch_window=batch_window))
+    crosschecked = run(
+        SimulatorConfig(state_cross_check=True, batch_window=batch_window)
+    )
     assert _signature(incremental) == _signature(crosschecked)
     assert incremental.robustness_percent(warmup=20, cooldown=20) == crosschecked.robustness_percent(
         warmup=20, cooldown=20

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import json
+import tracemalloc
 
 import pytest
 
+from repro.workload.generator import WorkloadConfig, WorkloadTrace
+from repro.workload.scale import scale_trace
 from repro.workload.traces import load_trace, save_trace, trace_from_dict, trace_to_dict
 
 
@@ -27,6 +30,41 @@ class TestRoundTrip:
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-workload-trace"
         assert len(payload["tasks"]) == len(small_trace)
+
+
+class TestStreamingSave:
+    """``save_trace`` streams task by task but keeps the exact byte format."""
+
+    def test_bytes_identical_to_full_dump(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.json")
+        assert path.read_text() == json.dumps(trace_to_dict(small_trace), indent=2)
+
+    def test_empty_trace_bytes_identical(self, tmp_path):
+        trace = WorkloadTrace((), WorkloadConfig(num_tasks=1, time_span=1))
+        path = save_trace(trace, tmp_path / "empty.json")
+        assert path.read_text() == json.dumps(trace_to_dict(trace), indent=2)
+
+    def test_large_trace_peak_memory_is_bounded(self, tmp_path):
+        """The 100k-task fix: writing must not materialise the full dict.
+
+        A 30k-task trace serialises to ~3 MB of JSON (tens of MB as a
+        transient dict-of-dicts); streaming keeps peak allocations during
+        the write in the tens of kilobytes.
+        """
+        trace = scale_trace(seed=11, num_tasks=30_000)
+        path = tmp_path / "big.json"
+        tracemalloc.start()
+        try:
+            save_trace(trace, path)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        file_size = path.stat().st_size
+        assert file_size > 1_000_000
+        assert peak < 1_000_000
+        assert peak < file_size / 3
+        # And the streamed file still round-trips exactly.
+        assert list(load_trace(path)) == list(trace)
 
 
 class TestValidation:
