@@ -94,6 +94,7 @@ from .experiments import (
     run_fig9,
 )
 from .experiments.reporting import save_figure_result
+from .core.kernels import KERNEL_BACKEND_NAMES
 from .heuristics.registry import HEURISTIC_NAMES
 from .simulator.engine import SimulatorConfig
 from .sweep import BACKEND_NAMES, StreamReporter
@@ -168,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched scheduling-round window in time units "
         "(0 = map at every event, the paper's protocol)",
     )
+    _add_kernel_backend_argument(sim)
 
     fig = subparsers.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("number", type=int, choices=sorted(_FIGURES), help="figure number (4-9)")
@@ -257,7 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument(
         "--kernel-version",
         default=None,
-        help="kernel version to KEEP (default: the current repro.core.batch.KERNEL_VERSION)",
+        help="kernel version to KEEP (default: the current "
+        "repro.core.batch.KERNEL_VERSION).  Matches the version part of "
+        "each artefact's engine tag, so a bare version keeps every "
+        "backend's entries at that version; pass a composite tag like "
+        "'3+numba' (or add --kernel-backend) to keep one backend only",
+    )
+    cache_gc.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKEND_NAMES,
+        default=None,
+        help="additionally restrict the kept artefacts to this kernel backend",
     )
     cache_gc.add_argument(
         "--dry-run", action="store_true", help="report what would be removed, remove nothing"
@@ -320,6 +332,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--trials", type=int, default=2, help="execution-sampling trials")
     replay.add_argument("--seed", type=int, default=2019)
+    replay.add_argument(
+        "--batch-window",
+        type=_non_negative_int,
+        default=0,
+        help="batched scheduling-round window in time units (0 = per-event)",
+    )
+    _add_kernel_backend_argument(replay)
     replay.add_argument("--jobs", type=_positive_int, default=1, help="worker processes")
     replay.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
     _add_backend_arguments(replay)
@@ -355,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="batched scheduling-round window in time units (0 = per-event)",
     )
+    _add_kernel_backend_argument(serve_run)
     serve_run.add_argument(
         "--drain-grace",
         type=_positive_float,
@@ -444,6 +464,14 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2019)
     parser.add_argument("--task-scale", type=float, default=1.0, help="scale factor on task counts")
     parser.add_argument("--output-dir", default=None, help="write text/CSV/JSON artefacts here")
+    parser.add_argument(
+        "--batch-window",
+        type=_non_negative_int,
+        default=0,
+        help="batched scheduling-round window in time units (0 = per-event, "
+        "the paper's protocol; folded into the result cache key)",
+    )
+    _add_kernel_backend_argument(parser)
     parser.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     parser.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
     _add_backend_arguments(parser)
@@ -453,6 +481,18 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="replay this recorded trace file instead of synthesising workloads "
         "(figure 9 only; e.g. examples/transcoding_660.trace.json)",
+    )
+
+
+def _add_kernel_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Kernel-backend selection shared by every command that runs the engine."""
+    parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKEND_NAMES,
+        default=None,
+        help="PMF kernel backend the engine dispatches through (default: "
+        "$REPRO_KERNEL_BACKEND, else numpy; numba needs the optional numba "
+        "package)",
     )
 
 
@@ -487,10 +527,14 @@ def _command_simulate(args: argparse.Namespace) -> int:
     workload = WorkloadConfig(num_tasks=args.tasks, time_span=args.span, beta=args.beta)
     trace = generate_workload(workload, pet, rng=args.seed + 1)
     heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
-    config = SimulatorConfig(batch_window=args.batch_window)
+    config = SimulatorConfig(
+        batch_window=args.batch_window, kernel_backend=args.kernel_backend
+    )
     result = simulate(pet, heuristic, trace, config=config, rng=args.seed + 2)
 
     print(f"heuristic          : {args.heuristic}")
+    if args.kernel_backend is not None:
+        print(f"kernel backend     : {args.kernel_backend}")
     if args.batch_window:
         print(
             "engine mode        : "
@@ -524,7 +568,13 @@ def _run_figure(
     progress: Callable | None = None,
 ) -> None:
     driver, headers = _FIGURES[number]
-    config = ExperimentConfig(trials=args.trials, seed=args.seed, task_scale=args.task_scale)
+    config = ExperimentConfig(
+        trials=args.trials,
+        seed=args.seed,
+        task_scale=args.task_scale,
+        batch_window=args.batch_window,
+        kernel_backend=args.kernel_backend,
+    )
     extra: dict[str, object] = {}
     if getattr(args, "trace", None) is not None:
         if number != 9:
@@ -648,7 +698,12 @@ def _command_trace_replay(args: argparse.Namespace) -> int:
     from .utils.tables import format_table
 
     heuristics = list(dict.fromkeys(args.heuristics))
-    config = ExperimentConfig(trials=args.trials, seed=args.seed)
+    config = ExperimentConfig(
+        trials=args.trials,
+        seed=args.seed,
+        batch_window=args.batch_window,
+        kernel_backend=args.kernel_backend,
+    )
     pet_spec = PETSpec(kind=args.pet, seed=config.seed)
     pet = pet_for(pet_spec)
     trace_spec = TraceSpec(path=args.file)
@@ -759,26 +814,36 @@ def _command_cache(args: argparse.Namespace) -> int:
 
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
+        from .core.kernels import parse_kernel_tag
+
         stats = cache.disk_stats()
         print(f"entries            : {stats['entries']}")
         print(f"bytes              : {stats['bytes']}")
         print(f"corrupt            : {stats['corrupt']}")
         kernels = stats["kernel_versions"]
         if kernels:
-            rows = [
-                [version, count, "current" if str(version) == str(KERNEL_VERSION) else "stale"]
-                for version, count in kernels.items()
-            ]
-            print(format_table(["kernel version", "entries", ""], rows))
+            # Grouped by the full engine tag; the version *part* decides
+            # current vs stale, so "3" and "3+numba" are both current at
+            # kernel version 3 — just produced by different backends.
+            rows = []
+            for tag, count in kernels.items():
+                version, backend = parse_kernel_tag(tag)
+                status = "current" if version == str(KERNEL_VERSION) else "stale"
+                rows.append([tag, backend, count, status])
+            print(format_table(["kernel tag", "backend", "entries", ""], rows))
         return 0
     if args.cache_command == "gc":
         keep = args.kernel_version if args.kernel_version is not None else KERNEL_VERSION
-        removed, removed_bytes = cache.gc(keep_kernel_version=keep, dry_run=args.dry_run)
-        verb = "would remove" if args.dry_run else "removed"
-        print(
-            f"{verb} {removed} artefact(s) ({removed_bytes} bytes) "
-            f"not matching kernel version {keep!r}"
+        removed, removed_bytes = cache.gc(
+            keep_kernel_version=keep,
+            keep_backend=args.kernel_backend,
+            dry_run=args.dry_run,
         )
+        verb = "would remove" if args.dry_run else "removed"
+        kept = f"kernel version {keep!r}"
+        if args.kernel_backend is not None:
+            kept += f" on backend {args.kernel_backend!r}"
+        print(f"{verb} {removed} artefact(s) ({removed_bytes} bytes) not matching {kept}")
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
@@ -801,12 +866,16 @@ def _command_serve_run(args: argparse.Namespace) -> int:
         core = SchedulerCore(
             pet,
             heuristic,
-            config=SimulatorConfig(batch_window=args.batch_window),
+            config=SimulatorConfig(
+                batch_window=args.batch_window, kernel_backend=args.kernel_backend
+            ),
             rng=args.seed + 2,
         )
         service = SchedulerService(core, args.socket, drain_grace=args.drain_grace)
         await service.start()
         mode = f" (batched rounds, window {args.batch_window})" if args.batch_window else ""
+        if args.kernel_backend is not None:
+            mode += f" [kernel backend {args.kernel_backend}]"
         print(
             f"serving {args.heuristic}{mode} on {service.socket_path} — Ctrl-C to stop",
             file=sys.stderr,

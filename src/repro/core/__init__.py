@@ -28,6 +28,21 @@ from .completion import (
     queue_completion_pmfs,
     start_pmf_for_idle_machine,
 )
+from .kernels import (
+    KERNEL_BACKEND_NAMES,
+    ArrayApiBackend,
+    KernelBackend,
+    KernelBackendUnavailable,
+    NumbaBackend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    kernel_cache_tag,
+    parse_kernel_tag,
+    resolve_backend,
+    use_backend,
+)
 from .pmf import MASS_TOLERANCE, DiscretePMF
 from .robustness import (
     queue_success_probabilities,
@@ -47,6 +62,19 @@ __all__ = [
     "batched_convolve_ragged",
     "batched_success_probability",
     "batched_expected_completion",
+    "KERNEL_BACKEND_NAMES",
+    "KernelBackend",
+    "KernelBackendUnavailable",
+    "NumpyBackend",
+    "NumbaBackend",
+    "ArrayApiBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "use_backend",
+    "kernel_cache_tag",
+    "parse_kernel_tag",
     "DroppingPolicy",
     "completion_pmf",
     "batched_completion_step",

@@ -27,7 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .batch import PMFBatch, batched_convolve_ragged
+from .batch import PMFBatch
+from .kernels import active_backend
 from .pmf import DiscretePMF
 
 __all__ = [
@@ -222,7 +223,9 @@ def batched_completion_step(
 
     if batch_rows:
         dense = PMFBatch.from_pmfs([pets[i] for i in batch_rows])
-        convolved = batched_convolve_ragged(dense, [started[i] for i in batch_rows])
+        convolved = active_backend().convolve_ragged(
+            dense, [started[i] for i in batch_rows]
+        )
         for row, i in enumerate(batch_rows):
             ran = DiscretePMF._raw(convolved.probs[row].copy(), convolved.offset)
             if policy is DroppingPolicy.EVICT:

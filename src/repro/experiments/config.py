@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Mapping
 
+from ..core.kernels import KERNEL_BACKEND_NAMES
 from ..workload.generator import WorkloadConfig
 
 __all__ = [
@@ -84,6 +85,17 @@ class ExperimentConfig:
     max_impulses: int = 32
     #: Workload scaling factor applied to ``num_tasks`` (1.0 = level as is).
     task_scale: float = 1.0
+    #: Batched-scheduling-round window (time units) forwarded to
+    #: :class:`~repro.simulator.engine.SimulatorConfig`; ``0`` keeps the
+    #: paper's per-event mapping protocol.  Folded into sweep cache keys —
+    #: batched-round results never collide with per-event entries.
+    batch_window: int = 0
+    #: Kernel backend forwarded to the simulator (``None`` = process-wide
+    #: selection: ``REPRO_KERNEL_BACKEND`` or the ``numpy`` reference).
+    #: Excluded from the cache-key *config* payload — the backend identity
+    #: is folded into the engine tag instead (see
+    #: :func:`repro.core.kernels.kernel_cache_tag`).
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -92,6 +104,13 @@ class ExperimentConfig:
             raise ValueError("warmup/cooldown must be non-negative")
         if self.task_scale <= 0:
             raise ValueError("task_scale must be positive")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.kernel_backend is not None and self.kernel_backend not in KERNEL_BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; expected one "
+                f"of {KERNEL_BACKEND_NAMES}"
+            )
 
     @classmethod
     def for_scale(cls, scale: ExperimentScale) -> "ExperimentConfig":

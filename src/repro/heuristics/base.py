@@ -40,12 +40,9 @@ from typing import Iterable
 
 import numpy as np
 
-from ..core.batch import (
-    PMFBatch,
-    batched_expected_completion,
-    batched_success_probability,
-)
+from ..core.batch import PMFBatch
 from ..core.completion import chain_step
+from ..core.kernels import active_backend
 from ..core.pmf import DiscretePMF
 from ..pet.matrix import PETMatrix
 from ..simulator.mapping import MappingContext, MappingDecision
@@ -233,11 +230,12 @@ class ScoreTable:
         availabilities = [virtual.machines[j].availability for j in open_indices]
         batch = PMFBatch.from_pmfs(availabilities)
         columns = np.array(open_indices, dtype=np.int64)
-        self.robustness[:, columns] = batched_success_probability(
+        kernels = active_backend()
+        self.robustness[:, columns] = kernels.success_probability(
             batch, self._cdf_table, self.types, self.deadlines, machine_indices=columns
         )
         expected_start = np.array([a.mean() for a in availabilities], dtype=np.float64)
-        completion = batched_expected_completion(
+        completion = kernels.expected_completion(
             expected_start, self.mean_execution[:, columns]
         )
         # A zero-mass availability has no expected start time; such machines

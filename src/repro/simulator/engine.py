@@ -77,6 +77,7 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from ..core.completion import DroppingPolicy
+from ..core.kernels import KERNEL_BACKEND_NAMES, resolve_backend, use_backend
 from ..pet.matrix import PETMatrix
 from ..utils.rng import make_generator
 from ..workload.generator import WorkloadTrace
@@ -169,6 +170,14 @@ class SimulatorConfig:
     #: amortises kernel calls on large traces at the cost of bounded extra
     #: mapping latency (at most ``W`` time units per task).
     batch_window: int = 0
+    #: Kernel backend the engine's event loops dispatch through (one of
+    #: :data:`repro.core.kernels.KERNEL_BACKEND_NAMES`).  ``None`` (default)
+    #: keeps the process-wide selection — the ``REPRO_KERNEL_BACKEND``
+    #: environment variable or the ``numpy`` reference.  The backend only
+    #: changes *how* the kernels run: the ``numpy`` and ``numba`` paths are
+    #: bit-identical, the ``array-api`` path is pinned within its documented
+    #: tolerance (see ``docs/architecture.md``).
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -177,6 +186,11 @@ class SimulatorConfig:
             raise ValueError("max_impulses must be at least one (or None)")
         if self.batch_window < 0:
             raise ValueError("batch_window must be non-negative")
+        if self.kernel_backend is not None and self.kernel_backend not in KERNEL_BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; expected one "
+                f"of {KERNEL_BACKEND_NAMES}"
+            )
 
     @property
     def dropping_policy(self) -> DroppingPolicy:
@@ -215,6 +229,15 @@ class HCSimulator:
             raise ValueError("one price per machine is required")
         self.machine_prices = [float(p) for p in prices]
         self.rng = make_generator(rng)
+        #: Kernel backend scoped around the event loops; resolved eagerly so
+        #: a missing optional dependency fails at construction, not mid-run.
+        #: ``None`` (no explicit selection) leaves the process-wide backend
+        #: untouched — ``use_backend(None)`` is a no-op scope.
+        self._kernel_backend = (
+            resolve_backend(self.config.kernel_backend)
+            if self.config.kernel_backend is not None
+            else None
+        )
 
         self.machines: list[Machine] = []
         #: Live incremental availability state; (re)built by ``_reset_state``
@@ -294,18 +317,20 @@ class HCSimulator:
         """
         events = self.events
         events.push(time, EventKind.WATERMARK)
-        while True:
-            head = events.peek()
-            if head[1] == _WATERMARK:
-                events.pop()
-                return
-            self._step_once()
+        with use_backend(self._kernel_backend):
+            while True:
+                head = events.peek()
+                if head[1] == _WATERMARK:
+                    events.pop()
+                    return
+                self._step_once()
 
     def finish_stream(self) -> SimulationResult:
         """Drain all pending events, finalise, and return the metrics."""
-        while self.events:
-            self._step_once()
-        self._finalise_unfinished_tasks()
+        with use_backend(self._kernel_backend):
+            while self.events:
+                self._step_once()
+            self._finalise_unfinished_tasks()
         ordered = tuple(
             sorted(self.tasks.values(), key=lambda t: (t.arrival, t.task_id))
         )

@@ -71,6 +71,8 @@ def _sim_config_for(
         queue_capacity=config.queue_capacity,
         max_impulses=config.max_impulses,
         evict_executing_at_deadline=evict_executing_at_deadline,
+        batch_window=config.batch_window,
+        kernel_backend=config.kernel_backend,
     )
 
 

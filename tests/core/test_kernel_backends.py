@@ -1,0 +1,544 @@
+"""Differential suite for the pluggable kernel backends (PR 8 tentpole).
+
+Every installed backend is driven through random ``PMFBatch`` inputs and
+compared against two references:
+
+* the **scalar** path (:class:`DiscretePMF` ops /
+  :mod:`repro.heuristics.scoring`) — the NumPy backend must match it at
+  ``atol=0``, extending the original batched-kernel contract;
+* the **NumPy backend** — accelerator backends must match it within their
+  own pinned ``rtol``/``atol`` attributes (the documented tolerance policy;
+  the jitted numba path pins ``0.0`` and is therefore bit-identical too).
+
+A full seeded 660-task reference-trace trial per installed backend closes
+the loop at the whole-simulation level.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import (
+    KERNEL_VERSION,
+    CDFTable,
+    PMFBatch,
+    batched_convolve,
+    batched_convolve_ragged,
+    batched_shift,
+    batched_success_probability,
+    sequential_sum,
+)
+from repro.core.completion import DroppingPolicy, batched_completion_step
+from repro.core.kernels import (
+    ARRAY_API_NAMESPACE_ENV,
+    KERNEL_BACKEND_ENV,
+    ArrayApiBackend,
+    KernelBackendUnavailable,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    backend_available,
+    get_backend,
+    kernel_cache_tag,
+    parse_kernel_tag,
+    resolve_backend,
+    resolved_backend_name,
+    set_active_backend,
+    use_backend,
+)
+from repro.core.pmf import DiscretePMF
+from repro.heuristics.registry import make_heuristic
+from repro.heuristics.scoring import expected_completion, fast_success_probability
+from repro.pet.builders import build_transcoding_pet
+from repro.simulator.engine import HCSimulator, SimulatorConfig, simulate
+from repro.workload.traces import load_trace
+
+REFERENCE_TRACE = (
+    Path(__file__).resolve().parent.parent.parent
+    / "examples"
+    / "transcoding_660.trace.json"
+)
+
+INSTALLED = available_backends()
+
+
+def _assert_backend_close(backend, actual, reference) -> None:
+    """Apply the backend's pinned tolerance (bit-identity when it pins 0)."""
+    actual = np.asarray(actual)
+    reference = np.asarray(reference)
+    if backend.rtol == 0.0 and backend.atol == 0.0:
+        assert np.array_equal(actual, reference), backend.name
+    else:
+        np.testing.assert_allclose(
+            actual, reference, rtol=backend.rtol, atol=backend.atol
+        )
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def pmf_strategy(draw, min_time=-8, max_time=50, allow_zero_mass=True):
+    n = draw(st.integers(min_value=0 if allow_zero_mass else 1, max_value=5))
+    if n == 0:
+        return DiscretePMF.zero()
+    times = draw(
+        st.lists(
+            st.integers(min_time, max_time), min_size=n, max_size=n, unique=True
+        )
+    )
+    weights = draw(
+        st.lists(st.floats(0.01, 1.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    mass = draw(st.floats(0.05, 1.0, allow_nan=False))
+    scale = mass / sum(weights)
+    return DiscretePMF.from_impulses(
+        {t: w * scale for t, w in zip(times, weights)}
+    )
+
+
+@st.composite
+def batch_strategy(draw, min_rows=1, max_rows=5, **pmf_kwargs):
+    rows = draw(
+        st.lists(pmf_strategy(**pmf_kwargs), min_size=min_rows, max_size=max_rows)
+    )
+    return PMFBatch.from_pmfs(rows)
+
+
+@st.composite
+def scoring_case_strategy(draw):
+    """Random (availability, execution grid, tasks) scoring problem."""
+    n_machines = draw(st.integers(1, 4))
+    n_types = draw(st.integers(1, 3))
+    n_tasks = draw(st.integers(1, 6))
+    avail_pmfs = [
+        draw(pmf_strategy(min_time=0, max_time=40)) for _ in range(n_machines)
+    ]
+    grid = [
+        [
+            draw(pmf_strategy(min_time=1, max_time=25, allow_zero_mass=False))
+            for _ in range(n_machines)
+        ]
+        for _ in range(n_types)
+    ]
+    types = draw(
+        st.lists(st.integers(0, n_types - 1), min_size=n_tasks, max_size=n_tasks)
+    )
+    deadlines = draw(
+        st.lists(st.integers(0, 80), min_size=n_tasks, max_size=n_tasks)
+    )
+    return avail_pmfs, grid, np.array(types), np.array(deadlines)
+
+
+def _assert_same_pmf(got: DiscretePMF, want: DiscretePMF) -> None:
+    """Bit-identical after compaction; zero-mass PMFs are equal regardless
+    of the offset each path canonicalises to."""
+    got, want = got.compact(), want.compact()
+    if got.is_zero() and want.is_zero():
+        return
+    assert got.offset == want.offset
+    assert np.array_equal(got.probs, want.probs)
+
+
+# ----------------------------------------------------------------------
+# Differential kernels, per installed backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", INSTALLED)
+class TestBackendDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(batch=batch_strategy(), data=st.data())
+    def test_shift_matches_reference(self, name, batch, data):
+        backend = get_backend(name)
+        scalar_delta = data.draw(st.integers(-10, 10))
+        out = backend.shift(batch, scalar_delta)
+        ref = batched_shift(batch, scalar_delta)
+        assert out.offset == ref.offset
+        _assert_backend_close(backend, out.probs, ref.probs)
+
+        deltas = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(-10, 10),
+                    min_size=batch.n_pmfs,
+                    max_size=batch.n_pmfs,
+                )
+            ),
+            dtype=np.int64,
+        )
+        out = backend.shift(batch, deltas)
+        ref = batched_shift(batch, deltas)
+        assert out.offset == ref.offset
+        _assert_backend_close(backend, out.probs, ref.probs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=batch_strategy(), kernel=pmf_strategy(min_time=0, max_time=20))
+    def test_convolve_matches_reference_and_scalar(self, name, batch, kernel):
+        backend = get_backend(name)
+        out = backend.convolve(batch, kernel)
+        ref = batched_convolve(batch, kernel)
+        assert out.offset == ref.offset
+        _assert_backend_close(backend, out.probs, ref.probs)
+        if backend.rtol == 0.0:  # scalar atol=0 leg of the contract
+            for i in range(batch.n_pmfs):
+                _assert_same_pmf(out.row(i), batch.row(i).convolve_with(kernel))
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=batch_strategy(), data=st.data())
+    def test_convolve_ragged_matches_reference_and_scalar(self, name, batch, data):
+        backend = get_backend(name)
+        kernels = [
+            data.draw(pmf_strategy(min_time=0, max_time=20))
+            for _ in range(batch.n_pmfs)
+        ]
+        out = backend.convolve_ragged(batch, kernels)
+        ref = batched_convolve_ragged(batch, kernels)
+        assert out.offset == ref.offset
+        _assert_backend_close(backend, out.probs, ref.probs)
+        if backend.rtol == 0.0:
+            for i in range(batch.n_pmfs):
+                _assert_same_pmf(out.row(i), batch.row(i).convolve_with(kernels[i]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.lists(st.floats(-5.0, 5.0, allow_nan=False), min_size=0, max_size=8),
+            min_size=1,
+            max_size=5,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    def test_sequential_sum_matches_reference(self, name, values):
+        backend = get_backend(name)
+        arr = np.array(values, dtype=np.float64)
+        for axis in (-1, 0, 1):
+            _assert_backend_close(
+                backend,
+                backend.sequential_sum(arr, axis=axis),
+                sequential_sum(arr, axis=axis),
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=scoring_case_strategy())
+    def test_success_probability_matches_reference_and_scalar(self, name, case):
+        backend = get_backend(name)
+        avail_pmfs, grid, types, deadlines = case
+        batch = PMFBatch.from_pmfs(avail_pmfs)
+        table = CDFTable.from_grid(grid)
+        out = backend.success_probability(batch, table, types, deadlines)
+        ref = batched_success_probability(batch, table, types, deadlines)
+        _assert_backend_close(backend, out, ref)
+        if backend.rtol == 0.0:  # scalar atol=0 leg of the contract
+            for i, (task_type, deadline) in enumerate(zip(types, deadlines)):
+                for j, avail in enumerate(avail_pmfs):
+                    scalar = fast_success_probability(
+                        grid[task_type][j], avail, int(deadline)
+                    )
+                    assert out[i, j] == scalar
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=scoring_case_strategy())
+    def test_expected_completion_matches_scalar(self, name, case):
+        backend = get_backend(name)
+        avail_pmfs, grid, types, _ = case
+        means = np.array([p.mean() for p in avail_pmfs], dtype=np.float64)
+        exec_means = np.array(
+            [[grid[t][j].mean() for j in range(len(avail_pmfs))] for t in types],
+            dtype=np.float64,
+        )
+        out = backend.expected_completion(means, exec_means)
+        for i, task_type in enumerate(types):
+            for j, avail in enumerate(avail_pmfs):
+                scalar = expected_completion(grid[task_type][j], avail)
+                if np.isnan(scalar):
+                    assert np.isnan(out[i, j])
+                elif backend.rtol == 0.0:
+                    assert out[i, j] == scalar
+                else:
+                    np.testing.assert_allclose(
+                        out[i, j], scalar, rtol=backend.rtol, atol=backend.atol
+                    )
+
+    def test_ragged_rejects_row_mismatch(self, name):
+        backend = get_backend(name)
+        batch = PMFBatch.from_pmfs([DiscretePMF.point(1), DiscretePMF.point(2)])
+        with pytest.raises(ValueError, match="one kernel per row"):
+            backend.convolve_ragged(batch, [DiscretePMF.point(0)])
+
+    def test_success_probability_rejects_machine_mismatch(self, name):
+        backend = get_backend(name)
+        batch = PMFBatch.single(DiscretePMF.point(3))
+        table = CDFTable.from_pmf(DiscretePMF.point(2))
+        with pytest.raises(ValueError, match="one row per entry"):
+            backend.success_probability(
+                batch,
+                table,
+                np.array([0]),
+                np.array([10]),
+                machine_indices=np.array([0, 0]),
+            )
+
+    def test_success_probability_zero_mass_availability(self, name):
+        backend = get_backend(name)
+        batch = PMFBatch(np.zeros((2, 3)), 0)
+        table = CDFTable.from_grid([[DiscretePMF.point(2), DiscretePMF.point(3)]])
+        out = backend.success_probability(batch, table, np.array([0]), np.array([9]))
+        assert np.array_equal(out, np.zeros((1, 2)))
+
+
+# ----------------------------------------------------------------------
+# Full seeded reference-trace trial per installed backend
+# ----------------------------------------------------------------------
+
+
+def _trial_signature(result):
+    return tuple(
+        (
+            t.task_id,
+            t.status.value,
+            t.machine,
+            t.mapped_at,
+            t.exec_start,
+            t.exec_end,
+            t.dropped_at,
+        )
+        for t in result.tasks
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_trace():
+    return load_trace(REFERENCE_TRACE)
+
+
+@pytest.fixture(scope="module")
+def reference_result(reference_trace):
+    pet = build_transcoding_pet(rng=2019)
+    heuristic = make_heuristic("PAMF", num_task_types=pet.num_task_types)
+    return simulate(pet, heuristic, reference_trace, rng=2021)
+
+
+@pytest.mark.parametrize("name", INSTALLED)
+def test_reference_trace_trial_matches(name, reference_trace, reference_result):
+    """660-task seeded trial: every installed backend vs the default run."""
+    backend = get_backend(name)
+    pet = build_transcoding_pet(rng=2019)
+    heuristic = make_heuristic("PAMF", num_task_types=pet.num_task_types)
+    result = simulate(
+        pet,
+        heuristic,
+        reference_trace,
+        config=SimulatorConfig(kernel_backend=name),
+        rng=2021,
+    )
+    if backend.rtol == 0.0 and backend.atol == 0.0:
+        assert _trial_signature(result) == _trial_signature(reference_result)
+    else:
+        # Tolerance backends may legally flip knife-edge ties; require the
+        # same decision stream shape and a matching headline metric.
+        assert [t.status.value for t in result.tasks] == [
+            t.status.value for t in reference_result.tasks
+        ]
+        assert result.robustness_percent() == pytest.approx(
+            reference_result.robustness_percent(), abs=0.5
+        )
+
+
+def test_default_backend_unscoped_run_unchanged(reference_trace, reference_result):
+    """kernel_backend=None must leave the process-wide default untouched."""
+    pet = build_transcoding_pet(rng=2019)
+    heuristic = make_heuristic("PAMF", num_task_types=pet.num_task_types)
+    result = simulate(
+        pet, heuristic, reference_trace, config=SimulatorConfig(), rng=2021
+    )
+    assert _trial_signature(result) == _trial_signature(reference_result)
+
+
+# ----------------------------------------------------------------------
+# Dispatch plumbing: the engine and the chain step honour the scope
+# ----------------------------------------------------------------------
+
+
+class _SpyBackend(NumpyBackend):
+    name = "numpy"
+
+    def __init__(self):
+        self.calls: dict[str, int] = {}
+
+    def _count(self, key):
+        self.calls[key] = self.calls.get(key, 0) + 1
+
+    def convolve_ragged(self, batch, kernels):
+        self._count("convolve_ragged")
+        return super().convolve_ragged(batch, kernels)
+
+    def success_probability(self, *args, **kwargs):
+        self._count("success_probability")
+        return super().success_probability(*args, **kwargs)
+
+    def expected_completion(self, *args, **kwargs):
+        self._count("expected_completion")
+        return super().expected_completion(*args, **kwargs)
+
+
+def test_completion_step_dispatches_through_active_backend():
+    spy = _SpyBackend()
+    pets = [
+        DiscretePMF.from_impulses({3: 0.5, 4: 0.25, 5: 0.25}),
+        DiscretePMF.from_impulses({2: 0.4, 4: 0.3, 6: 0.3}),
+    ]
+    # Sparse predecessors (nonzeros < dense width) so the lockstep step
+    # takes its ragged-convolve branch rather than the scalar fallback.
+    prevs = [
+        DiscretePMF.from_impulses({1: 0.4, 6: 0.3}),
+        DiscretePMF.from_impulses({2: 0.5, 9: 0.2}),
+    ]
+    with use_backend(spy):
+        out = batched_completion_step(pets, prevs, [50, 50], DroppingPolicy.EVICT)
+    assert spy.calls.get("convolve_ragged", 0) >= 1
+    ref = batched_completion_step(pets, prevs, [50, 50], DroppingPolicy.EVICT)
+    for got, want in zip(out, ref):
+        assert got.offset == want.offset
+        assert np.array_equal(got.probs, want.probs)
+
+
+def test_engine_scopes_backend_around_event_loop(reference_trace):
+    spy = _SpyBackend()
+    pet = build_transcoding_pet(rng=2019)
+    heuristic = make_heuristic("PAMF", num_task_types=pet.num_task_types)
+    sim = HCSimulator(pet, heuristic, rng=2021)
+    sim._kernel_backend = spy  # a live instance is accepted wherever a name is
+    sim.run(
+        type(reference_trace)(reference_trace.tasks[:40], reference_trace.config)
+    )
+    assert spy.calls.get("success_probability", 0) >= 1
+    assert spy.calls.get("expected_completion", 0) >= 1
+    assert active_backend() is not spy  # scope restored after the run
+
+
+# ----------------------------------------------------------------------
+# Registry, selection order, tags
+# ----------------------------------------------------------------------
+
+
+class TestSelection:
+    def test_numpy_always_available(self):
+        assert "numpy" in INSTALLED
+        assert backend_available("numpy")
+        assert not backend_available("not-a-backend")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolved_backend_name("cuda")
+
+    def test_selection_order(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolved_backend_name(None) == "numpy"
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "array-api")
+        assert resolved_backend_name(None) == "array-api"
+        # Explicit selection wins over the environment.
+        assert resolved_backend_name("numpy") == "numpy"
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            resolved_backend_name(None)
+
+    def test_resolve_backend_passes_instances_through(self):
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("numpy") is get_backend("numpy")
+
+    def test_use_backend_scopes_and_restores(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        previous = set_active_backend("numpy")
+        with use_backend("array-api") as scoped:
+            assert active_backend() is scoped
+            assert scoped.name == "array-api"
+        assert active_backend() is previous
+        # None is a no-op scope.
+        with use_backend(None) as scoped:
+            assert scoped is previous
+        assert active_backend() is previous
+
+    def test_use_backend_restores_on_exception(self):
+        previous = set_active_backend("numpy")
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("array-api"):
+                raise RuntimeError("boom")
+        assert active_backend() is previous
+
+    @pytest.mark.skipif(
+        backend_available("numba"), reason="numba installed: backend is available"
+    )
+    def test_missing_numba_is_unavailable_not_broken(self):
+        assert "numba" not in INSTALLED
+        with pytest.raises(KernelBackendUnavailable, match="numba"):
+            get_backend("numba")
+        # Fail-fast at simulator construction, not mid-run.
+        pet = build_transcoding_pet(rng=2019)
+        heuristic = make_heuristic("MM", num_task_types=pet.num_task_types)
+        with pytest.raises(KernelBackendUnavailable, match="numba"):
+            HCSimulator(
+                pet, heuristic, config=SimulatorConfig(kernel_backend="numba")
+            )
+
+    def test_simulator_config_validates_backend_name(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            SimulatorConfig(kernel_backend="warp-drive")
+
+    def test_array_api_backend_reports_namespace(self):
+        backend = ArrayApiBackend()
+        assert backend.name == "array-api"
+        assert isinstance(backend.namespace_name, str)
+        explicit = ArrayApiBackend(namespace=np)
+        assert explicit.namespace_name == "numpy"
+
+    def test_array_api_shift_rejects_bad_delta_shape(self):
+        backend = ArrayApiBackend()
+        batch = PMFBatch.from_pmfs([DiscretePMF.point(1), DiscretePMF.point(2)])
+        with pytest.raises(ValueError, match="scalar delta or shape"):
+            backend.shift(batch, np.array([1, 2, 3]))
+
+    def test_array_api_boundary_conversion(self):
+        """Non-ndarray namespace outputs convert back through __array__."""
+        backend = ArrayApiBackend()
+        out = backend._to_numpy([1.0, 2.0])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+
+    def test_array_api_namespace_env(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_API_NAMESPACE_ENV, "numpy")
+        assert ArrayApiBackend().namespace_name == "numpy"
+        monkeypatch.setenv(ARRAY_API_NAMESPACE_ENV, "not_a_real_namespace")
+        with pytest.raises(KernelBackendUnavailable, match="not importable"):
+            ArrayApiBackend()
+
+
+class TestCacheTags:
+    def test_numpy_tag_is_the_bare_version(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert kernel_cache_tag() == KERNEL_VERSION
+        assert kernel_cache_tag("numpy") == KERNEL_VERSION
+        assert kernel_cache_tag("numpy", version=7) == 7
+
+    def test_other_backends_get_composite_tags(self):
+        assert kernel_cache_tag("array-api") == f"{KERNEL_VERSION}+array-api"
+        assert kernel_cache_tag("numba", version=9) == "9+numba"
+
+    def test_env_var_selects_the_tag_backend(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "array-api")
+        assert kernel_cache_tag() == f"{KERNEL_VERSION}+array-api"
+
+    def test_parse_kernel_tag(self):
+        assert parse_kernel_tag(3) == ("3", "numpy")
+        assert parse_kernel_tag("3") == ("3", "numpy")
+        assert parse_kernel_tag("3+numba") == ("3", "numba")
+        assert parse_kernel_tag("v-next+array-api") == ("v-next", "array-api")

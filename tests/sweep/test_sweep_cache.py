@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
+from repro.core.batch import KERNEL_VERSION
+from repro.core.kernels import KERNEL_BACKEND_ENV
 from repro.experiments.config import ExperimentConfig
 from repro.sweep import HeuristicSpec, PETSpec, ResultCache, SweepPoint, TrialMetrics
+from repro.sweep.spec import point_payload
 from repro.workload.generator import WorkloadConfig
 
 
@@ -101,6 +105,62 @@ class TestResultCache:
         assert cache.load(point) is not None  # re-executed result cached anew
 
 
+class TestCacheKeyBackendAndWindowFields:
+    """The PR-8 config fields must neither collide with nor invalidate
+    pre-existing cache entries (see ``point_payload``'s back-compat rules)."""
+
+    def test_batch_window_zero_is_absent_from_payload(self, point):
+        payload = point_payload(point)
+        assert "batch_window" not in payload["config"]
+
+    def test_batch_window_changes_the_key(self, point):
+        windowed = replace(point, config=replace(point.config, batch_window=8))
+        assert point_payload(windowed)["config"]["batch_window"] == 8
+        assert windowed.cache_key() != point.cache_key()
+        other = replace(point, config=replace(point.config, batch_window=16))
+        assert other.cache_key() != windowed.cache_key()
+
+    def test_kernel_backend_is_folded_into_the_engine_tag(
+        self, point, monkeypatch
+    ):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        payload = point_payload(point)
+        assert "kernel_backend" not in payload["config"]
+        assert payload["engine"] == KERNEL_VERSION  # bare pre-PR-8 tag
+
+        accel = replace(point, config=replace(point.config, kernel_backend="array-api"))
+        accel_payload = point_payload(accel)
+        assert "kernel_backend" not in accel_payload["config"]
+        assert accel_payload["engine"] == f"{KERNEL_VERSION}+array-api"
+        assert accel.cache_key() != point.cache_key()
+
+    def test_explicit_numpy_matches_default(self, point, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        explicit = replace(point, config=replace(point.config, kernel_backend="numpy"))
+        assert explicit.cache_key() == point.cache_key()
+
+    def test_env_var_selects_backend_for_unpinned_points(self, point, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        default_key = point.cache_key()
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "array-api")
+        assert point_payload(point)["engine"] == f"{KERNEL_VERSION}+array-api"
+        assert point.cache_key() != default_key
+        # A point pinned to a backend ignores the environment.
+        pinned = replace(point, config=replace(point.config, kernel_backend="numpy"))
+        assert pinned.cache_key() == default_key
+
+    def test_backend_entries_never_collide_across_backends(self, tmp_path, point):
+        cache = ResultCache(tmp_path)
+        numba_point = replace(
+            point, config=replace(point.config, kernel_backend="numba")
+        )
+        cache.store(point, make_trials(2))
+        cache.store(numba_point, make_trials(2))
+        assert cache.path_for(point) != cache.path_for(numba_point)
+        assert cache.load(point) is not None
+        assert cache.load(numba_point) is not None
+
+
 class TestTrialMetricsPayload:
     def test_roundtrip(self):
         trial = make_trials(1)[0]
@@ -148,3 +208,64 @@ class TestCacheMaintenance:
         assert removed == 1 and removed_bytes > 0
         assert not path.exists()
         assert cache.disk_stats()["entries"] == 0
+
+    @pytest.fixture
+    def mixed_backend_cache(self, tmp_path, point, monkeypatch):
+        """One artefact per backend tag at the current kernel version."""
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        cache = ResultCache(tmp_path)
+        paths = {"numpy": cache.store(point, make_trials(2))}
+        for backend in ("numba", "array-api"):
+            tagged = replace(
+                point,
+                label=backend,
+                config=replace(point.config, kernel_backend=backend),
+            )
+            paths[backend] = cache.store(tagged, make_trials(2))
+        return cache, paths
+
+    def test_disk_stats_groups_by_tag_and_backend(self, mixed_backend_cache):
+        cache, _ = mixed_backend_cache
+        stats = cache.disk_stats()
+        assert stats["kernel_versions"] == {
+            str(KERNEL_VERSION): 1,
+            f"{KERNEL_VERSION}+array-api": 1,
+            f"{KERNEL_VERSION}+numba": 1,
+        }
+        assert stats["backends"] == {"array-api": 1, "numba": 1, "numpy": 1}
+
+    def test_gc_bare_version_keeps_every_backend(self, mixed_backend_cache):
+        """Pre-PR-8 interface: other-backend entries at the kept version are
+        current, not corrupt — a bare-version gc must not remove them."""
+        cache, paths = mixed_backend_cache
+        removed, _ = cache.gc(keep_kernel_version=KERNEL_VERSION)
+        assert removed == 0
+        assert all(p.exists() for p in paths.values())
+
+    def test_gc_composite_tag_restricts_to_one_backend(self, mixed_backend_cache):
+        cache, paths = mixed_backend_cache
+        removed, _ = cache.gc(keep_kernel_version=f"{KERNEL_VERSION}+numba")
+        assert removed == 2
+        assert paths["numba"].exists()
+        assert not paths["numpy"].exists()
+        assert not paths["array-api"].exists()
+
+    def test_gc_keep_backend_filter(self, mixed_backend_cache):
+        cache, paths = mixed_backend_cache
+        removed, _ = cache.gc(
+            keep_kernel_version=KERNEL_VERSION, keep_backend="numpy", dry_run=True
+        )
+        assert removed == 2
+        assert all(p.exists() for p in paths.values())  # dry run touches nothing
+        removed, _ = cache.gc(
+            keep_kernel_version=KERNEL_VERSION, keep_backend="numpy"
+        )
+        assert removed == 2
+        assert paths["numpy"].exists()
+        assert not paths["numba"].exists()
+
+    def test_gc_stale_version_drops_other_backends_too(self, mixed_backend_cache):
+        cache, paths = mixed_backend_cache
+        removed, _ = cache.gc(keep_kernel_version="v-next")
+        assert removed == 3
+        assert not any(p.exists() for p in paths.values())

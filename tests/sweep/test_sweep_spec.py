@@ -112,10 +112,13 @@ class TestCacheKey:
         assert base.cache_key() not in keys
         assert len(set(keys)) == len(keys), "every variant must hash distinctly"
 
-    def test_every_experiment_config_field_is_covered(self):
+    def test_every_experiment_config_field_is_covered(self, monkeypatch):
         """Guard against adding an ExperimentConfig knob the hash ignores."""
+        from repro.core.kernels import KERNEL_BACKEND_ENV
+
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
         base = make_point()
-        numeric_bumps = {
+        bumps = {
             "trials": 3,
             "seed": 99,
             "warmup_tasks": 1,
@@ -123,9 +126,13 @@ class TestCacheKey:
             "queue_capacity": 7,
             "max_impulses": 64,
             "task_scale": 2.0,
+            "batch_window": 8,
+            # Hashes through the engine tag ("<version>+<backend>"), not the
+            # config payload — see point_payload's back-compat rules.
+            "kernel_backend": "array-api",
         }
-        assert {f.name for f in fields(ExperimentConfig)} == set(numeric_bumps)
-        for name, value in numeric_bumps.items():
+        assert {f.name for f in fields(ExperimentConfig)} == set(bumps)
+        for name, value in bumps.items():
             changed = make_point(config=replace(base.config, **{name: value}))
             assert changed.cache_key() != base.cache_key(), name
 

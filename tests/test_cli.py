@@ -54,6 +54,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_kernel_backend_accepted_everywhere(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).kernel_backend is None
+        for argv in (
+            ["simulate", "--kernel-backend", "array-api"],
+            ["figure", "9", "--kernel-backend", "numba"],
+            ["sweep", "4", "--kernel-backend", "numpy"],
+            ["trace", "replay", "t.json", "--kernel-backend", "numba"],
+            ["serve", "run", "--socket", "/tmp/s.sock", "--kernel-backend", "array-api"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.kernel_backend == argv[-1]
+
+    def test_unknown_kernel_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--kernel-backend", "cuda"])
+
+    def test_batch_window_argument(self):
+        parser = build_parser()
+        assert parser.parse_args(["figure", "9"]).batch_window == 0
+        assert (
+            parser.parse_args(["sweep", "4", "--batch-window", "8"]).batch_window == 8
+        )
+        assert (
+            parser.parse_args(
+                ["trace", "replay", "t.json", "--batch-window", "4"]
+            ).batch_window
+            == 4
+        )
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "9", "--batch-window", "-1"])
+
 
 class TestSimulateCommand:
     def test_runs_small_simulation(self, capsys):
@@ -80,6 +112,29 @@ class TestSimulateCommand:
         assert exit_code == 0
         assert "robustness" in captured
         assert "outcomes:" in captured
+
+    def test_simulate_with_kernel_backend(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--heuristic",
+                "MM",
+                "--tasks",
+                "40",
+                "--span",
+                "400",
+                "--workload",
+                "transcoding",
+                "--seed",
+                "3",
+                "--kernel-backend",
+                "array-api",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "kernel backend" in captured
+        assert "array-api" in captured
 
     def test_pruning_heuristic_runs(self, capsys):
         exit_code = main(
@@ -406,7 +461,7 @@ class TestWorkerAndQueueCommands:
 
 class TestCacheCommands:
     @staticmethod
-    def _store_artefact(cache_dir, seed=5):
+    def _store_artefact(cache_dir, seed=5, kernel_backend=None):
         from repro.experiments.config import ExperimentConfig
         from repro.sweep import HeuristicSpec, PETSpec, ResultCache, SweepPoint, TrialMetrics
         from repro.workload.generator import WorkloadConfig
@@ -416,7 +471,9 @@ class TestCacheCommands:
             pet=PETSpec(kind="spec", seed=seed),
             heuristic=HeuristicSpec(name="MM"),
             workload=WorkloadConfig(num_tasks=40, time_span=300, beta=1.5),
-            config=ExperimentConfig(trials=1, seed=seed),
+            config=ExperimentConfig(
+                trials=1, seed=seed, kernel_backend=kernel_backend
+            ),
         )
         trials = [
             TrialMetrics(
@@ -468,6 +525,47 @@ class TestCacheCommands:
         )
         assert "removed 1 artefact(s)" in capsys.readouterr().out
         assert not path.exists()
+
+    def test_cache_stats_groups_by_backend_tag(self, tmp_path, capsys, monkeypatch):
+        from repro.core.batch import KERNEL_VERSION
+        from repro.core.kernels import KERNEL_BACKEND_ENV
+
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        self._store_artefact(tmp_path)
+        self._store_artefact(tmp_path, kernel_backend="numba")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries            : 2" in out
+        assert "backend" in out
+        assert f"{KERNEL_VERSION}+numba" in out
+        assert "numpy" in out
+        # Both tags share the current version, so neither row is stale.
+        assert "stale" not in out
+
+    def test_cache_gc_backend_filter(self, tmp_path, capsys, monkeypatch):
+        from repro.core.kernels import KERNEL_BACKEND_ENV
+
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        numpy_path = self._store_artefact(tmp_path)
+        numba_path = self._store_artefact(tmp_path, kernel_backend="numba")
+        # Default gc keeps every backend at the current version.
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 0 artefact(s)" in capsys.readouterr().out
+        assert numpy_path.exists() and numba_path.exists()
+        # Restricting to one backend drops the other.
+        assert (
+            main(
+                [
+                    "cache", "gc", "--cache-dir", str(tmp_path),
+                    "--kernel-backend", "numpy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "removed 1 artefact(s)" in out
+        assert "on backend 'numpy'" in out
+        assert numpy_path.exists() and not numba_path.exists()
 
 
 class TestServeCommands:
