@@ -1,20 +1,29 @@
 """CI smoke test for the online scheduler service.
 
-Starts a :class:`~repro.serve.service.SchedulerService` on a scratch Unix
-socket, replays the first 50 tasks of the reference transcoding trace into
-it at 10x arrival speed, and asserts that
+Starts a scheduler service on a scratch endpoint, replays the first 50
+tasks of the reference transcoding trace into it, and asserts that
 
 * the streamed decision outcomes are bit-identical to an offline
   :meth:`HCSimulator.run` replay of the same slice (same mapping, same
-  drop set, same on-time flags — atol=0), and
+  drop set, same on-time flags — atol=0; checked *per shard* for the
+  sharded pass), and
 * the measured admission latencies are finite (a p99 exists and is a real
   number, i.e. the service actually timed every first decision).
 
-The whole check runs once per engine mode: the per-event heap loop
-(``batch_window=0``) and batched scheduling rounds (``--batch-window``,
-default 60), each against an offline replay in the *same* mode.  A small
-``BENCH_serve.json`` is written per mode as a CI artefact (the batched
-run gets a ``_w<window>`` suffix).
+The check runs once per topology:
+
+* per-event heap loop over a Unix socket (``batch_window=0``),
+* batched scheduling rounds (``--batch-window``, default 60),
+* TCP transport (ephemeral port on 127.0.0.1),
+* two sharded engine-worker processes behind one front-end, and
+* an overload pass with a one-slot admission inbox, which must reject
+  submissions with explicit ``accepted=false`` events — the rejection
+  count lands in the bench artefact and the equivalence check replays
+  only the accepted subset offline.
+
+A small ``BENCH_serve.json`` is written per pass as a CI artefact (every
+pass after the first gets a suffix: ``_w<window>``, ``_tcp``, ``_shard2``,
+``_overload``).
 
 Usage::
 
@@ -62,27 +71,48 @@ def main(argv: list[str] | None = None) -> int:
     def heuristic_factory():
         return make_heuristic("PAMF", num_task_types=pet.num_task_types)
 
-    windows = [0] if args.batch_window == 0 else [0, args.batch_window]
-    for window in windows:
-        mode = "per-event heap loop" if window == 0 else f"batched rounds (W={window})"
-        out = Path(args.out)
-        if window:
-            out = out.with_name(f"{out.stem}_w{window}{out.suffix}")
-        print(f"serve smoke [{mode}]: {len(trace)} tasks at {args.rate:g}x vs offline replay")
-        try:
-            report = run_bench(
-                pet,
-                heuristic_factory,
-                trace,
-                heuristic_name="PAMF",
-                pet_kind="transcoding",
-                seed=args.seed,
-                rates=(args.rate,),
-                sim_config=SimulatorConfig(batch_window=window),
-                check_offline=True,
-                out_path=out,
-                progress=lambda message: print(f"  {message}"),
+    # (label, artefact suffix, run_bench overrides, expect rejections)
+    passes: list[tuple[str, str, dict, bool]] = [
+        ("per-event heap loop", "", {}, False),
+    ]
+    if args.batch_window:
+        passes.append(
+            (
+                f"batched rounds (W={args.batch_window})",
+                f"_w{args.batch_window}",
+                {"sim_config": SimulatorConfig(batch_window=args.batch_window)},
+                False,
             )
+        )
+    passes.append(("TCP transport", "_tcp", {"transport": "tcp"}, False))
+    passes.append(("2 sharded workers", "_shard2", {"workers": 2}, False))
+    passes.append(
+        (
+            "overload (inbox_limit=4)",
+            "_overload",
+            {"inbox_limit": 4, "rates": (max(args.rate, 5000.0),)},
+            True,
+        )
+    )
+
+    for mode, suffix, overrides, expect_rejections in passes:
+        out = Path(args.out)
+        if suffix:
+            out = out.with_name(f"{out.stem}{suffix}{out.suffix}")
+        print(f"serve smoke [{mode}]: {len(trace)} tasks vs offline replay")
+        kwargs = dict(
+            heuristic_name="PAMF",
+            pet_kind="transcoding",
+            seed=args.seed,
+            rates=(args.rate,),
+            sim_config=SimulatorConfig(batch_window=0),
+            check_offline=True,
+            out_path=out,
+            progress=lambda message: print(f"  {message}"),
+        )
+        kwargs.update(overrides)
+        try:
+            report = run_bench(pet, heuristic_factory, trace, **kwargs)
         except RuntimeError as exc:
             print(f"MISMATCH [{mode}]: {exc}", file=sys.stderr)
             return 1
@@ -94,12 +124,20 @@ def main(argv: list[str] | None = None) -> int:
         if not math.isfinite(rate.p99_ms):
             print(f"BAD LATENCY [{mode}]: p99 is {rate.p99_ms!r}", file=sys.stderr)
             return 1
+        if expect_rejections and rate.rejected == 0:
+            print(
+                f"NO BACKPRESSURE [{mode}]: a four-slot inbox rejected nothing "
+                f"across {rate.tasks} submissions",
+                file=sys.stderr,
+            )
+            return 1
         print(
             f"  {rate.decisions} decisions in {rate.wall_seconds:.3f}s "
             f"({rate.decisions_per_sec:.0f}/s), admission p50 {rate.p50_ms:.2f}ms "
-            f"p99 {rate.p99_ms:.2f}ms, drop rate {100 * rate.drop_rate:.1f}%"
+            f"p99 {rate.p99_ms:.2f}ms, drop rate {100 * rate.drop_rate:.1f}%, "
+            f"{rate.rejected} rejected"
         )
-        print(f"OK [{mode}]: decision stream bit-identical to offline replay; wrote {out}")
+        print(f"OK [{mode}]: decision stream matches the offline replay; wrote {out}")
     return 0
 
 

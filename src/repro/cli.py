@@ -42,11 +42,15 @@ Eight subcommands cover the common workflows:
 
 ``serve``
     The online scheduler service: ``run`` hosts the admission loop on a
-    local Unix socket until interrupted, ``submit`` replays a recorded
-    trace (or a single task) into a running service and prints the
-    streamed decisions, and ``bench`` drives a fresh service at several
-    arrival-rate multipliers, checks the decision stream against an
-    offline replay, and writes the ``BENCH_serve.json`` artefact.
+    Unix socket or TCP port until interrupted (``--workers N`` shards
+    submissions across N engine-worker processes behind one socket, and
+    ``--inbox-limit`` bounds the admission queue so overload is answered
+    with explicit ``accepted=false`` rejections), ``submit`` replays a
+    recorded trace (or a single task) into a running service and prints
+    the streamed decisions, and ``bench`` drives a fresh service at
+    several arrival-rate multipliers, checks the decision stream against
+    an offline replay (per shard when sharded), and writes the
+    ``BENCH_serve.json`` artefact.
 
 Examples::
 
@@ -64,10 +68,14 @@ Examples::
     python -m repro.cli trace replay examples/transcoding_660.trace.json \
         --heuristics PAMF MM --jobs 4 --cache-dir results/cache
     python -m repro.cli serve run --socket /tmp/repro-serve.sock
+    python -m repro.cli serve run --listen tcp:127.0.0.1:7077 --workers 4
     python -m repro.cli serve submit --socket /tmp/repro-serve.sock \
         --trace examples/transcoding_660.trace.json --tasks 50 --rate 10
+    python -m repro.cli serve submit --connect tcp:127.0.0.1:7077 --task 1 0 5 400
     python -m repro.cli serve bench --trace examples/transcoding_660.trace.json \
         --rates 10 100 1000 --out BENCH_serve.json
+    python -m repro.cli serve bench --transport tcp --workers 2 \
+        --out BENCH_serve_shard2.json
 """
 
 from __future__ import annotations
@@ -352,10 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_sub = serve.add_subparsers(dest="serve_command", required=True)
 
     serve_run = serve_sub.add_parser(
-        "run", help="host the admission service on a local socket until interrupted"
+        "run", help="host the admission service on a Unix socket or TCP port until interrupted"
     )
-    serve_run.add_argument(
-        "--socket", required=True, help="Unix socket path to serve on (created, removed on exit)"
+    serve_listen = serve_run.add_mutually_exclusive_group(required=True)
+    serve_listen.add_argument(
+        "--socket", help="Unix socket path to serve on (created, removed on exit)"
+    )
+    serve_listen.add_argument(
+        "--listen",
+        help="endpoint to serve on: unix:PATH or tcp:HOST:PORT (port 0 picks one)",
     )
     serve_run.add_argument(
         "--pet",
@@ -381,13 +394,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds to let in-flight submissions drain on shutdown",
     )
+    serve_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="engine-worker processes behind the front-end, sharded by task "
+        "type (1 = single-process service)",
+    )
+    serve_run.add_argument(
+        "--inbox-limit",
+        type=_positive_int,
+        default=None,
+        help="bounded admission inbox (per-shard in-flight cap when sharded); "
+        "submissions beyond it are answered accepted=false",
+    )
 
     serve_submit = serve_sub.add_parser(
         "submit",
         help="replay a recorded trace (or one task) into a running service "
         "and print the streamed decisions",
     )
-    serve_submit.add_argument("--socket", required=True, help="socket of a running 'serve run'")
+    serve_target = serve_submit.add_mutually_exclusive_group(required=True)
+    serve_target.add_argument("--socket", help="Unix socket of a running 'serve run'")
+    serve_target.add_argument(
+        "--connect", help="endpoint of a running 'serve run': unix:PATH or tcp:HOST:PORT"
+    )
     source = serve_submit.add_mutually_exclusive_group(required=True)
     source.add_argument("--trace", help="recorded trace file to replay")
     source.add_argument(
@@ -453,6 +484,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check",
         action="store_true",
         help="skip the offline replay-equivalence check",
+    )
+    serve_bench.add_argument(
+        "--transport",
+        choices=("unix", "tcp"),
+        default="unix",
+        help="client-facing transport the bench drives",
+    )
+    serve_bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="engine-worker processes behind the front-end (1 = single-process)",
+    )
+    serve_bench.add_argument(
+        "--inbox-limit",
+        type=_positive_int,
+        default=None,
+        help="shrink the admission inbox to provoke measurable backpressure "
+        "(rejections are counted per rate)",
     )
 
     return parser
@@ -857,27 +907,50 @@ def _command_serve_run(args: argparse.Namespace) -> int:
     import json
     import signal
 
-    from .serve import SchedulerCore, SchedulerService
+    from .serve import (
+        SchedulerCore,
+        SchedulerService,
+        ShardedSchedulerService,
+        build_shard_specs,
+    )
 
     pet = _serve_pet(args)
-    heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
+    listen = args.listen if args.listen is not None else args.socket
+    sim_config = SimulatorConfig(
+        batch_window=args.batch_window, kernel_backend=args.kernel_backend
+    )
 
-    async def host() -> dict:
-        core = SchedulerCore(
-            pet,
-            heuristic,
-            config=SimulatorConfig(
-                batch_window=args.batch_window, kernel_backend=args.kernel_backend
-            ),
-            rng=args.seed + 2,
-        )
-        service = SchedulerService(core, args.socket, drain_grace=args.drain_grace)
+    async def host() -> tuple[dict, BaseException | None]:
+        if args.workers > 1:
+            # Sharded: the front-end's per-shard in-flight cap is the
+            # binding backpressure limit; worker inboxes sit above it.
+            front_cap = args.inbox_limit if args.inbox_limit is not None else 256
+            shard_specs = build_shard_specs(
+                pet,
+                args.heuristic,
+                workers=args.workers,
+                seed=args.seed + 2,
+                sim_config=sim_config,
+                inbox_limit=max(4 * front_cap, 1024),
+            )
+            service: SchedulerService | ShardedSchedulerService = ShardedSchedulerService(
+                shard_specs, listen, max_inflight=front_cap, drain_grace=args.drain_grace
+            )
+            snapshot = service.metrics.snapshot
+        else:
+            heuristic = make_heuristic(args.heuristic, num_task_types=pet.num_task_types)
+            core = SchedulerCore(pet, heuristic, config=sim_config, rng=args.seed + 2)
+            kwargs = {} if args.inbox_limit is None else {"inbox_limit": args.inbox_limit}
+            service = SchedulerService(core, listen, drain_grace=args.drain_grace, **kwargs)
+            snapshot = core.metrics.snapshot
         await service.start()
         mode = f" (batched rounds, window {args.batch_window})" if args.batch_window else ""
         if args.kernel_backend is not None:
             mode += f" [kernel backend {args.kernel_backend}]"
+        if args.workers > 1:
+            mode += f" [{args.workers} sharded workers]"
         print(
-            f"serving {args.heuristic}{mode} on {service.socket_path} — Ctrl-C to stop",
+            f"serving {args.heuristic}{mode} on {service.endpoint} — Ctrl-C to stop",
             file=sys.stderr,
             flush=True,
         )
@@ -897,10 +970,13 @@ def _command_serve_run(args: argparse.Namespace) -> int:
             await asyncio.gather(stopper, stopped, return_exceptions=True)
             for signum in (signal.SIGINT, signal.SIGTERM):
                 loop.remove_signal_handler(signum)
-        return core.metrics.snapshot()
+        return snapshot(), service.failure
 
-    snapshot = asyncio.run(host())
+    snapshot, failure = asyncio.run(host())
     print(json.dumps(snapshot, indent=2))
+    if failure is not None:
+        print(f"service failed: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -922,9 +998,10 @@ def _command_serve_submit(args: argparse.Namespace) -> int:
 
         specs = slice_trace(load_trace(args.trace), args.tasks)
     time_unit = args.time_unit if args.time_unit is not None else DEFAULT_TIME_UNIT_SECONDS
+    endpoint = args.connect if args.connect is not None else args.socket
     outcome = asyncio.run(
         replay_trace(
-            args.socket,
+            endpoint,
             specs,
             rate=args.rate,
             time_unit_seconds=time_unit,
@@ -934,9 +1011,12 @@ def _command_serve_submit(args: argparse.Namespace) -> int:
     )
     for event in outcome.decisions:
         print(json.dumps(event, separators=(",", ":")))
+    rejected_note = (
+        f", {outcome.rejected} rejected under backpressure" if outcome.rejected else ""
+    )
     print(
         f"submitted {outcome.submitted} task(s), received {len(outcome.decisions)} "
-        f"decision(s) in {outcome.wall_seconds:.3f}s",
+        f"decision(s) in {outcome.wall_seconds:.3f}s{rejected_note}",
         file=sys.stderr,
     )
     if outcome.closed is not None:
@@ -971,14 +1051,18 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             args.time_unit if args.time_unit is not None else DEFAULT_TIME_UNIT_SECONDS
         ),
         check_offline=not args.no_check,
+        transport=args.transport,
+        workers=args.workers,
+        inbox_limit=args.inbox_limit,
         out_path=args.out,
         progress=lambda message: print(message, file=sys.stderr, flush=True),
     )
-    headers = ["rate", "decisions/s", "p50 ms", "p95 ms", "p99 ms", "drop %"]
+    headers = ["rate", "decisions/s", "rejected", "p50 ms", "p95 ms", "p99 ms", "drop %"]
     rows = [
         [
             f"{rate.multiplier:g}x",
             f"{rate.decisions_per_sec:.0f}",
+            f"{rate.rejected}",
             f"{rate.p50_ms:.2f}",
             f"{rate.p95_ms:.2f}",
             f"{rate.p99_ms:.2f}",

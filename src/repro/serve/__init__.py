@@ -6,13 +6,20 @@ promotes it to a long-running admission service:
 * :mod:`repro.serve.service` — :class:`SchedulerCore` (synchronous
   externally-clocked admission engine with an in-process ``submit()`` API)
   and :class:`SchedulerService` (asyncio admission loop serving JSON-lines
-  over a local Unix socket, streaming per-task decisions to every connected
-  client);
+  over a Unix socket or TCP, streaming per-task decisions to every
+  connected client, with a bounded inbox that rejects submissions under
+  overload);
+* :mod:`repro.serve.workers` — :class:`ShardedSchedulerService`, a
+  front-end that shards submissions by task type across N engine-worker
+  processes and merges their decisions into one globally-sequenced stream;
 * :mod:`repro.serve.metrics` — :class:`ServiceMetrics` counters plus a
-  latency histogram with exact percentile read-out;
+  latency histogram with exact percentile read-out, and
+  :func:`merge_snapshots` for the sharded stats view;
 * :mod:`repro.serve.loadgen` — trace replay at a wall-clock arrival-rate
-  multiplier and the ``repro serve bench`` throughput/latency harness;
-* :mod:`repro.serve.protocol` — the JSON-lines wire format.
+  multiplier and the ``repro serve bench`` throughput/latency harness
+  (any transport/topology, with the overload rejection curve);
+* :mod:`repro.serve.protocol` — the JSON-lines wire format and endpoint
+  notation (``unix:PATH`` / ``tcp:HOST:PORT``).
 
 Virtual time is *externally clocked*: every submission carries its arrival
 instant in trace time units and the engine's clock advances with the
@@ -20,7 +27,10 @@ submission watermark.  That is what makes serving exactly reproducible —
 a trace streamed through the service (at any wall-clock rate) yields
 decisions bit-identical to an offline :meth:`HCSimulator.run` of the same
 trace, pinned by :func:`repro.serve.service.decision_map` /
-:func:`offline_decision_map` and the replay-equivalence test suite.
+:func:`offline_decision_map` and the replay-equivalence test suite.  Under
+sharding the contract holds *per shard*: each worker's stream equals the
+offline replay of exactly its task subsequence (seeded with
+:func:`shard_seed`).
 """
 
 from .loadgen import (
@@ -31,11 +41,14 @@ from .loadgen import (
     run_bench,
     slice_trace,
 )
-from .metrics import LatencyHistogram, ServiceMetrics
+from .metrics import LatencyHistogram, ServiceMetrics, merge_snapshots
 from .protocol import (
     decision_to_payload,
     decode_line,
     encode_line,
+    format_endpoint,
+    open_endpoint,
+    parse_endpoint,
     spec_from_payload,
     spec_to_payload,
 )
@@ -45,6 +58,14 @@ from .service import (
     SchedulerService,
     decision_map,
     offline_decision_map,
+)
+from .workers import (
+    ShardSpec,
+    ShardedSchedulerService,
+    build_shard_specs,
+    partition_trace,
+    shard_for,
+    shard_seed,
 )
 
 __all__ = [
@@ -56,13 +77,23 @@ __all__ = [
     "SchedulerCore",
     "SchedulerService",
     "ServiceMetrics",
+    "ShardSpec",
+    "ShardedSchedulerService",
+    "build_shard_specs",
     "decision_map",
     "decision_to_payload",
     "decode_line",
     "encode_line",
+    "format_endpoint",
+    "merge_snapshots",
     "offline_decision_map",
+    "open_endpoint",
+    "parse_endpoint",
+    "partition_trace",
     "replay_trace",
     "run_bench",
+    "shard_for",
+    "shard_seed",
     "slice_trace",
     "spec_from_payload",
     "spec_to_payload",

@@ -11,7 +11,13 @@ throughput/latency curve measures.
 ``run_bench`` sweeps several multipliers (a fresh service per rate, same
 seed), checks the decision stream against an offline
 :meth:`HCSimulator.run` replay of the same trace, and writes the
-machine-readable ``BENCH_serve.json`` perf artefact.
+machine-readable ``BENCH_serve.json`` perf artefact.  The bench drives any
+service topology: Unix socket or TCP (``transport=``), one admission core
+or N sharded worker processes (``workers=``), and a deliberately tiny
+bounded inbox (``inbox_limit=``) to measure the overload rejection curve —
+submissions turned away with ``accepted=false`` are counted per rate, and
+the equivalence check then compares each shard's stream against an offline
+replay of exactly the tasks that were *accepted* into that shard.
 """
 
 from __future__ import annotations
@@ -19,17 +25,23 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..pet.matrix import PETMatrix
 from ..simulator.engine import HCSimulator, SimulatorConfig
 from ..workload.generator import WorkloadTrace
 from .metrics import LatencyHistogram
-from .protocol import decode_line, encode_line, spec_to_payload
+from .protocol import decode_line, encode_line, open_endpoint, spec_to_payload
 from .service import SchedulerCore, SchedulerService, decision_map, offline_decision_map
+from .workers import (
+    ShardedSchedulerService,
+    build_shard_specs,
+    partition_trace,
+    shard_seed,
+)
 
 __all__ = [
     "BenchReport",
@@ -76,6 +88,13 @@ class ReplayOutcome:
     wall_seconds: float
     #: Tasks submitted.
     submitted: int
+    #: Task ids the service turned away with ``accepted=false``
+    #: (backpressure under overload); never reached the engine.
+    rejected_ids: tuple[int, ...] = ()
+
+    @property
+    def rejected(self) -> int:
+        return len(self.rejected_ids)
 
 
 @dataclass(frozen=True)
@@ -85,6 +104,8 @@ class RateReport:
     multiplier: float
     tasks: int
     decisions: int
+    #: Submissions rejected with ``accepted=false`` (backpressure).
+    rejected: int
     wall_seconds: float
     decisions_per_sec: float
     submitted_per_sec: float
@@ -100,6 +121,7 @@ class RateReport:
             "multiplier": self.multiplier,
             "tasks": self.tasks,
             "decisions": self.decisions,
+            "rejected": self.rejected,
             "wall_seconds": round(self.wall_seconds, 6),
             "decisions_per_sec": round(self.decisions_per_sec, 3),
             "submitted_per_sec": round(self.submitted_per_sec, 3),
@@ -125,6 +147,10 @@ class BenchReport:
     #: ``True`` when every rate's decision stream matched the offline
     #: replay; ``None`` when the check was skipped.
     equivalent_to_offline: bool | None
+    #: ``unix`` or ``tcp`` — the transport the bench drove.
+    transport: str = "unix"
+    #: Engine-worker processes behind the front-end (1 = single-process).
+    workers: int = 1
 
     def to_payload(self) -> dict[str, object]:
         return {
@@ -135,6 +161,8 @@ class BenchReport:
             "pet": self.pet_kind,
             "seed": self.seed,
             "time_unit_seconds": self.time_unit_seconds,
+            "transport": self.transport,
+            "workers": self.workers,
             "equivalent_to_offline": self.equivalent_to_offline,
             "rates": [rate.to_payload() for rate in self.rates],
         }
@@ -147,7 +175,7 @@ class BenchReport:
 
 
 async def replay_trace(
-    socket_path: str | Path,
+    endpoint: str | Path,
     trace: WorkloadTrace,
     *,
     rate: float = 10.0,
@@ -157,18 +185,24 @@ async def replay_trace(
 ) -> ReplayOutcome:
     """Replay a trace into a running service at ``rate``x arrival speed.
 
+    ``endpoint`` is a Unix-socket path or a ``tcp:HOST:PORT`` string (any
+    notation :func:`~repro.serve.protocol.parse_endpoint` accepts).
     Submissions are paced on the wall clock (task ``i`` goes out once
     ``arrival_i * time_unit_seconds / rate`` seconds have elapsed) and the
     decision stream is collected concurrently.  With ``close=True`` the
     replay finishes the run (drain + finalise) and returns the ``closed``
     summary; otherwise it ends with a ``flush`` so the service stays open.
+    Submissions the service turns away with ``accepted=false``
+    (backpressure) are recorded in :attr:`ReplayOutcome.rejected_ids`, not
+    treated as errors.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
     if time_unit_seconds <= 0:
         raise ValueError("time_unit_seconds must be positive")
-    reader, writer = await asyncio.open_unix_connection(str(socket_path))
+    reader, writer = await open_endpoint(endpoint)
     decisions: list[dict] = []
+    rejected_ids: list[int] = []
     closed_payload: dict | None = None
     errors: list[str] = []
     finished = asyncio.Event()
@@ -185,6 +219,8 @@ async def replay_trace(
             kind = event.get("event")
             if kind == "decision":
                 decisions.append(event)
+            elif kind == "accepted" and event.get("accepted") is False:
+                rejected_ids.append(int(event.get("task_id", -1)))
             elif kind == "error":
                 errors.append(str(event.get("message")))
             elif kind == "closed":
@@ -228,6 +264,7 @@ async def replay_trace(
         closed=closed_payload,
         wall_seconds=wall_seconds,
         submitted=submitted,
+        rejected_ids=tuple(rejected_ids),
     )
 
 
@@ -246,10 +283,12 @@ def _rate_report(multiplier: float, outcome: ReplayOutcome) -> RateReport:
     if outcome.closed is not None:
         robustness = float(outcome.closed["summary"]["robustness_percent"])
     summary = latencies.summary()
+    accepted = outcome.submitted - outcome.rejected
     return RateReport(
         multiplier=multiplier,
         tasks=outcome.submitted,
         decisions=len(outcome.decisions),
+        rejected=outcome.rejected,
         wall_seconds=outcome.wall_seconds,
         decisions_per_sec=len(outcome.decisions) / outcome.wall_seconds,
         submitted_per_sec=outcome.submitted / outcome.wall_seconds,
@@ -257,9 +296,60 @@ def _rate_report(multiplier: float, outcome: ReplayOutcome) -> RateReport:
         p95_ms=summary["p95_s"] * 1e3,
         p99_ms=summary["p99_s"] * 1e3,
         max_ms=summary["max_s"] * 1e3,
-        drop_rate=dropped / outcome.submitted if outcome.submitted else 0.0,
+        drop_rate=dropped / accepted if accepted else 0.0,
         robustness_percent=robustness,
     )
+
+
+def _offline_shard_maps(
+    pet: PETMatrix,
+    heuristic_factory: Callable[[], object],
+    trace: WorkloadTrace,
+    *,
+    seed: int,
+    workers: int,
+    sim_config: SimulatorConfig | None,
+    rejected: frozenset[int] = frozenset(),
+) -> dict[int | None, dict]:
+    """Expected decision maps for the *accepted* subset of a trace.
+
+    With one worker the key is ``None`` (the whole stream); with N workers
+    the keys are shard indices and each map is the offline replay of exactly
+    that shard's accepted task subsequence, seeded with :func:`shard_seed` —
+    the per-shard replay-equivalence contract.
+    """
+    if workers == 1:
+        specs = [spec for spec in trace if spec.task_id not in rejected]
+        sim = HCSimulator(pet, heuristic_factory(), config=sim_config, rng=seed)
+        return {None: offline_decision_map(sim.run(specs))}
+    maps: dict[int | None, dict] = {}
+    for shard, shard_tasks in enumerate(partition_trace(trace, workers)):
+        specs = [spec for spec in shard_tasks if spec.task_id not in rejected]
+        sim = HCSimulator(
+            pet, heuristic_factory(), config=sim_config, rng=shard_seed(seed, shard)
+        )
+        maps[shard] = offline_decision_map(sim.run(specs)) if specs else {}
+    return maps
+
+
+def _check_outcome_offline(
+    outcome: ReplayOutcome, expected: Mapping, *, multiplier: float
+) -> None:
+    """Raise ``RuntimeError`` if any (shard) stream diverged from offline."""
+    for shard, offline_map in expected.items():
+        if shard is None:
+            streamed = decision_map(outcome.decisions)
+            label = "the offline replay"
+        else:
+            streamed = decision_map(
+                [e for e in outcome.decisions if e.get("shard") == shard]
+            )
+            label = f"shard {shard}'s offline replay"
+        if streamed != offline_map:
+            diff = _first_difference(streamed, offline_map)
+            raise RuntimeError(
+                f"decision stream at {multiplier:g}x diverged from {label}: {diff}"
+            )
 
 
 def run_bench(
@@ -274,6 +364,9 @@ def run_bench(
     time_unit_seconds: float = DEFAULT_TIME_UNIT_SECONDS,
     sim_config: SimulatorConfig | None = None,
     check_offline: bool = True,
+    transport: str = "unix",
+    workers: int = 1,
+    inbox_limit: int | None = None,
     out_path: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> BenchReport:
@@ -281,20 +374,39 @@ def run_bench(
 
     Each multiplier gets a fresh service seeded identically, so the decision
     streams must agree across rates *and* (with ``check_offline``) with a
-    batch :meth:`HCSimulator.run` of the same trace — the bench doubles as
-    the replay-equivalence harness.  A mismatch raises ``RuntimeError``.
+    batch :meth:`HCSimulator.run` — the bench doubles as the
+    replay-equivalence harness.  A mismatch raises ``RuntimeError``.
+
+    ``transport`` selects the client-facing socket (``"unix"`` or
+    ``"tcp"``), ``workers`` the number of sharded engine processes (1 keeps
+    the single-process service), and ``inbox_limit`` shrinks the admission
+    queue (front-end in-flight cap when sharded) to provoke measurable
+    backpressure — each rate row then records how many submissions were
+    turned away with ``accepted=false``, and the equivalence check replays
+    only the accepted subset offline (per shard when sharded).
     """
     if not rates:
         raise ValueError("at least one rate multiplier is required")
+    if transport not in ("unix", "tcp"):
+        raise ValueError(f"transport must be 'unix' or 'tcp', got {transport!r}")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     say = progress if progress is not None else (lambda message: None)
-    offline_map = None
+    baseline: dict[int | None, dict] | None = None
     if check_offline:
-        sim = HCSimulator(pet, heuristic_factory(), config=sim_config, rng=seed)
-        offline_map = offline_decision_map(sim.run(trace))
-        say(f"offline replay: {len(offline_map)} task outcomes recorded")
+        baseline = _offline_shard_maps(
+            pet,
+            heuristic_factory,
+            trace,
+            seed=seed,
+            workers=workers,
+            sim_config=sim_config,
+        )
+        recorded = sum(len(m) for m in baseline.values())
+        say(f"offline replay: {recorded} task outcomes recorded")
 
     reports: list[RateReport] = []
-    equivalent: bool | None = None if offline_map is None else True
+    equivalent: bool | None = None if baseline is None else True
     for multiplier in rates:
         say(f"rate {multiplier:g}x: replaying {len(trace)} tasks")
         outcome = asyncio.run(
@@ -306,16 +418,30 @@ def run_bench(
                 rate=float(multiplier),
                 time_unit_seconds=time_unit_seconds,
                 sim_config=sim_config,
+                heuristic_name=heuristic_name,
+                transport=transport,
+                workers=workers,
+                inbox_limit=inbox_limit,
             )
         )
-        if offline_map is not None:
-            streamed = decision_map(outcome.decisions)
-            if streamed != offline_map:
-                diff = _first_difference(streamed, offline_map)
-                raise RuntimeError(
-                    f"decision stream at {multiplier:g}x diverged from the "
-                    f"offline replay: {diff}"
+        if baseline is not None:
+            expected = baseline
+            if outcome.rejected_ids:
+                say(
+                    f"rate {multiplier:g}x: {outcome.rejected} rejected under "
+                    "backpressure; re-deriving the offline baseline for the "
+                    "accepted subset"
                 )
+                expected = _offline_shard_maps(
+                    pet,
+                    heuristic_factory,
+                    trace,
+                    seed=seed,
+                    workers=workers,
+                    sim_config=sim_config,
+                    rejected=frozenset(outcome.rejected_ids),
+                )
+            _check_outcome_offline(outcome, expected, multiplier=float(multiplier))
         reports.append(_rate_report(float(multiplier), outcome))
     report = BenchReport(
         trace_tasks=len(trace),
@@ -325,6 +451,8 @@ def run_bench(
         time_unit_seconds=time_unit_seconds,
         rates=tuple(reports),
         equivalent_to_offline=equivalent,
+        transport=transport,
+        workers=workers,
     )
     if out_path is not None:
         report.write(out_path)
@@ -340,15 +468,43 @@ async def _bench_one_rate(
     rate: float,
     time_unit_seconds: float,
     sim_config: SimulatorConfig | None,
+    heuristic_name: str | None = None,
+    transport: str = "unix",
+    workers: int = 1,
+    inbox_limit: int | None = None,
 ) -> ReplayOutcome:
     """One fresh service + one replay, torn down cleanly even on interrupt."""
     with TemporaryDirectory(prefix="repro-serve-") as scratch:
-        core = SchedulerCore(pet, heuristic_factory(), config=sim_config, rng=seed)
-        service = SchedulerService(core, Path(scratch) / "serve.sock")
+        if transport == "tcp":
+            listen: str | Path = "tcp:127.0.0.1:0"
+        else:
+            listen = Path(scratch) / "serve.sock"
+        if workers > 1:
+            if heuristic_name is None:
+                raise ValueError("a sharded bench needs heuristic_name (registry name)")
+            # The front-end's in-flight cap is the binding limit; size the
+            # worker inboxes above it so worker-side rejections (which would
+            # complicate correlation) cannot trigger first.
+            front_cap = 256 if inbox_limit is None else inbox_limit
+            shard_specs = build_shard_specs(
+                pet,
+                heuristic_name,
+                workers=workers,
+                seed=seed,
+                sim_config=sim_config,
+                inbox_limit=max(4 * front_cap, 1024),
+            )
+            service: SchedulerService | ShardedSchedulerService = (
+                ShardedSchedulerService(shard_specs, listen, max_inflight=front_cap)
+            )
+        else:
+            core = SchedulerCore(pet, heuristic_factory(), config=sim_config, rng=seed)
+            kwargs = {} if inbox_limit is None else {"inbox_limit": inbox_limit}
+            service = SchedulerService(core, listen, **kwargs)
         await service.start()
         try:
             return await replay_trace(
-                service.socket_path,
+                service.endpoint,
                 trace,
                 rate=rate,
                 time_unit_seconds=time_unit_seconds,

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "merge_snapshots"]
 
 #: Upper edges (seconds) of the rendered log-spaced buckets: 0.1 ms .. 100 s.
 _BUCKET_EDGES = tuple(10.0 ** (exp / 2.0) for exp in range(-8, 5))
@@ -70,6 +71,10 @@ class ServiceMetrics:
 
     submitted: int = 0
     rejected: int = 0
+    #: Submissions turned away at the door by backpressure (bounded inbox
+    #: full, or a sharded front-end at its in-flight cap) — these never
+    #: reach the engine and are answered ``accepted=false``.
+    rejected_overload: int = 0
     assigned: int = 0
     completed: int = 0
     dropped: int = 0
@@ -84,6 +89,7 @@ class ServiceMetrics:
         return {
             "submitted": self.submitted,
             "rejected": self.rejected,
+            "rejected_overload": self.rejected_overload,
             "assigned": self.assigned,
             "completed": self.completed,
             "dropped": self.dropped,
@@ -91,3 +97,50 @@ class ServiceMetrics:
             "mapping_events": self.mapping_events,
             "admission_latency": self.admission.summary(),
         }
+
+
+#: Counter keys of a :meth:`ServiceMetrics.snapshot` that sum across shards.
+_COUNTER_KEYS = (
+    "submitted",
+    "rejected",
+    "rejected_overload",
+    "assigned",
+    "completed",
+    "dropped",
+    "decisions",
+    "mapping_events",
+)
+
+
+def merge_snapshots(snapshots: Sequence[Mapping]) -> dict[str, object]:
+    """Aggregate per-shard metric snapshots into one service-wide view.
+
+    Counters sum exactly.  Admission-latency percentiles cannot be merged
+    exactly from summaries, so the merged figures are *conservative*: the
+    count sums, the mean is count-weighted, and each percentile (and the
+    max) is the worst shard's value — an upper bound on the true merged
+    percentile.
+    """
+    merged: dict[str, object] = {key: 0 for key in _COUNTER_KEYS}
+    total_count = 0
+    weighted_mean = 0.0
+    worst: dict[str, float] = {"p50_s": float("nan"), "p95_s": float("nan"), "p99_s": float("nan"), "max_s": float("nan")}
+    for snapshot in snapshots:
+        for key in _COUNTER_KEYS:
+            merged[key] += int(snapshot.get(key, 0))
+        latency = snapshot.get("admission_latency", {})
+        count = int(latency.get("count", 0))
+        if count > 0:
+            total_count += count
+            weighted_mean += count * float(latency.get("mean_s", 0.0))
+            for key in worst:
+                value = float(latency.get(key, float("nan")))
+                if math.isnan(worst[key]) or value > worst[key]:
+                    worst[key] = value
+    nan = float("nan")
+    merged["admission_latency"] = {
+        "count": total_count,
+        "mean_s": weighted_mean / total_count if total_count else nan,
+        **worst,
+    }
+    return merged

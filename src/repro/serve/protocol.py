@@ -1,10 +1,24 @@
-"""JSON-lines wire format of the scheduler service.
+"""JSON-lines wire format and transport endpoints of the scheduler service.
 
 One request or event per line, UTF-8 JSON with a mandatory discriminator:
 requests carry ``op`` (``submit``, ``flush``, ``stats``, ``close``), events
 carry ``event`` (``accepted``, ``decision``, ``flushed``, ``stats``,
 ``closed``, ``error``).  The format is line-oriented so any language — or
 ``socat`` in a terminal — can drive the service.
+
+``accepted`` events carry an explicit ``accepted`` boolean: ``true`` when
+the submission entered the admission queue, ``false`` (with a ``reason``,
+currently ``"overloaded"``) when backpressure rejected it at the door —
+a rejected submission never touches the engine and never produces
+decisions.  Decision events from a sharded service additionally carry
+``shard`` (which worker decided) and ``shard_seq`` (that worker's own
+stream sequence) beside the globally re-sequenced ``seq``.
+
+The same wire format runs over two transports, selected by an *endpoint*
+string: a filesystem path or ``unix:PATH`` serves a local Unix socket;
+``tcp:HOST:PORT`` serves TCP (``PORT`` ``0`` binds an ephemeral port).
+:func:`parse_endpoint` normalises the notation and :func:`open_endpoint`
+opens a client connection to either.
 
 Task payloads mirror the recorded-trace schema
 (:mod:`repro.workload.traces`): integral ``task_id``/``task_type``/
@@ -15,8 +29,10 @@ live system.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import math
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 from ..workload.spec import TaskSpec
@@ -27,6 +43,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "decode_line",
     "encode_line",
+    "format_endpoint",
+    "open_endpoint",
+    "parse_endpoint",
     "spec_from_payload",
     "spec_to_payload",
     "decision_to_payload",
@@ -34,6 +53,59 @@ __all__ = [
 
 #: Fields every submitted task must carry (the recorded-trace field set).
 _TASK_FIELDS = ("task_id", "task_type", "arrival", "deadline")
+
+
+# ----------------------------------------------------------------------
+# Transport endpoints.
+# ----------------------------------------------------------------------
+def parse_endpoint(value: str | Path) -> tuple:
+    """Normalise an endpoint string into ``("unix", path)`` or
+    ``("tcp", host, port)``.
+
+    Accepted notations: a bare filesystem path or ``unix:PATH`` (Unix
+    socket), and ``tcp:HOST:PORT`` / ``tcp://HOST:PORT`` (TCP).  An empty
+    host defaults to ``127.0.0.1``; port ``0`` is allowed for listeners
+    (the OS picks an ephemeral port).
+    """
+    if isinstance(value, Path):
+        return ("unix", str(value))
+    text = str(value)
+    if text.startswith("tcp:"):
+        rest = text[4:]
+        if rest.startswith("//"):
+            rest = rest[2:]
+        host, sep, port_text = rest.rpartition(":")
+        if not sep:
+            raise ValueError(f"tcp endpoint needs HOST:PORT, got {value!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"tcp endpoint port must be an integer, got {port_text!r}") from None
+        if not 0 <= port <= 65535:
+            raise ValueError(f"tcp endpoint port out of range: {port}")
+        return ("tcp", host or "127.0.0.1", port)
+    if text.startswith("unix:"):
+        text = text[5:]
+    if not text:
+        raise ValueError("endpoint must not be empty")
+    return ("unix", text)
+
+
+def format_endpoint(spec: tuple) -> str:
+    """The canonical endpoint string for a parsed endpoint tuple."""
+    if spec[0] == "unix":
+        return spec[1]
+    return f"tcp:{spec[1]}:{spec[2]}"
+
+
+async def open_endpoint(
+    value: str | Path,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a client stream to a service endpoint (Unix socket or TCP)."""
+    spec = parse_endpoint(value)
+    if spec[0] == "tcp":
+        return await asyncio.open_connection(spec[1], spec[2])
+    return await asyncio.open_unix_connection(spec[1])
 
 
 def encode_line(payload: Mapping) -> bytes:

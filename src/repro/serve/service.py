@@ -13,11 +13,15 @@ Two layers, deliberately separable:
     to an offline :meth:`HCSimulator.run` of the same trace.
 
 :class:`SchedulerService`
-    The asyncio layer: a Unix-socket JSON-lines server whose single
-    admission loop serialises all client submissions into the core and
-    streams decision events back to every connected client.  Graceful
-    shutdown drains in-flight submissions, closes the socket, and leaves no
-    orphaned tasks.
+    The asyncio layer: a JSON-lines server (Unix socket or TCP, same wire
+    protocol) whose single admission loop serialises all client submissions
+    into the core and streams decision events back to every connected
+    client.  The inbox between the client handlers and the admission loop
+    is *bounded*: when it is full, further submissions are answered with an
+    explicit ``{"event": "accepted", "accepted": false}`` rejection instead
+    of queueing without limit — overload degrades into a measured rejection
+    rate, not unbounded memory growth.  Graceful shutdown drains in-flight
+    submissions, closes the socket, and leaves no orphaned tasks.
 
 Watermark semantics: when a submission carries arrival time ``t`` the core
 first processes every pending event *strictly before* ``t``, then holds the
@@ -25,12 +29,19 @@ time-``t`` batch open — later submissions with the same arrival instant
 still join the same mapping event, exactly as they would in batch replay.
 ``flush()`` force-processes the held instant; ``close()`` drains everything
 and finalises the run.
+
+Rejections (duplicate id, late arrival, malformed payload, overload) leave
+the live system untouched: a submission is validated *before* the virtual
+clock advances on its behalf, so a rejected submit changes neither the
+engine frontier nor the decision stream.
 """
 
 from __future__ import annotations
 
 import asyncio
+import sys
 import time
+import traceback
 from contextlib import suppress
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,7 +56,14 @@ from ..simulator.metrics import SimulationResult
 from ..simulator.task import Task, TaskStatus
 from ..workload.spec import TaskSpec
 from .metrics import ServiceMetrics
-from .protocol import decision_to_payload, decode_line, encode_line, spec_from_payload
+from .protocol import (
+    decision_to_payload,
+    decode_line,
+    encode_line,
+    format_endpoint,
+    parse_endpoint,
+    spec_from_payload,
+)
 
 __all__ = [
     "Decision",
@@ -121,25 +139,33 @@ class SchedulerCore:
         ValueError
             If the task duplicates an id or arrives before the processed
             virtual-time frontier (a "late" submission).  Rejections are
-            counted in :attr:`metrics` and leave the live system untouched.
+            counted in :attr:`metrics` and leave the live system untouched:
+            validation happens before the virtual clock advances, so a
+            rejected submit changes neither the engine frontier nor the
+            decision stream.
         """
         if self._closed:
             raise RuntimeError("the scheduler service is closed")
         received = self._clock() if received is None else received
+        # Validate *before* the virtual clock moves: a rejected submission
+        # (duplicate id, late arrival) must not advance the frontier or fire
+        # mapping events on its way out — rejections leave the live system
+        # untouched.
+        try:
+            self._sim.validate_inject(spec)
+        except ValueError:
+            self.metrics.rejected += 1
+            raise
         if self._watermark is not None and spec.arrival > self._watermark:
             # A later instant: every pending event before it is now safe to
             # process — no future submission may precede this arrival.
             self._sim.advance_until(spec.arrival)
-        try:
-            self._sim.inject_task(spec)
-        except ValueError:
-            self.metrics.rejected += 1
-            raise
+        self._sim.inject_task(spec)
         self._submit_wall[spec.task_id] = received
         if self._watermark is None or spec.arrival > self._watermark:
             self._watermark = spec.arrival
         self.metrics.submitted += 1
-        return self._drain()
+        return self.take_pending()
 
     def flush(self) -> list[Decision]:
         """Force-process the held watermark instant (end-of-burst)."""
@@ -147,7 +173,7 @@ class SchedulerCore:
             raise RuntimeError("the scheduler service is closed")
         if self._watermark is not None:
             self._sim.advance_until(self._watermark + 1)
-        return self._drain()
+        return self.take_pending()
 
     def close(self) -> list[Decision]:
         """Drain all remaining virtual time and finalise the run."""
@@ -155,7 +181,7 @@ class SchedulerCore:
             raise RuntimeError("the scheduler service is closed")
         self._result = self._sim.finish_stream()
         self._closed = True
-        return self._drain()
+        return self.take_pending()
 
     @property
     def closed(self) -> bool:
@@ -192,6 +218,11 @@ class SchedulerCore:
                 time=int(task.dropped_at if task.dropped_at is not None else 0),
                 reason=task.drop_reason.value if task.drop_reason is not None else None,
             )
+        # Terminal means no further event can concern this task: prune its
+        # per-task bookkeeping so a long-lived service stays O(in-flight
+        # tasks), not O(all tasks ever submitted).
+        self._submit_wall.pop(task.task_id, None)
+        self._first_decided.discard(task.task_id)
 
     def on_mapping_event(self, now: int, decision: MappingDecision) -> None:
         self.metrics.mapping_events += 1
@@ -228,7 +259,15 @@ class SchedulerCore:
         )
         self._seq += 1
 
-    def _drain(self) -> list[Decision]:
+    def take_pending(self) -> list[Decision]:
+        """Drain decisions emitted since the last drain.
+
+        ``submit``/``flush``/``close`` drain on the way out, so this is
+        normally empty — it exists for error paths: any layer that catches
+        an exception from the core must still collect (and broadcast) the
+        decisions produced before the failure, or they would be stranded
+        and misattributed to the next unrelated request.
+        """
         drained, self._pending = self._pending, []
         return drained
 
@@ -304,26 +343,43 @@ def offline_decision_map(
 # The asyncio socket service.
 # ----------------------------------------------------------------------
 class SchedulerService:
-    """JSON-lines admission service over a local Unix socket.
+    """JSON-lines admission service over a Unix socket or TCP.
 
     One admission loop owns the core: submissions from every connection are
-    funnelled through an :class:`asyncio.Queue`, processed in arrival
-    order, and the resulting decision events are broadcast to every
-    connected client.  ``stop()`` drains in-flight submissions first (bounded
-    by ``drain_grace`` seconds), then closes the socket and removes its
-    path — no orphaned asyncio task survives it.
+    funnelled through a *bounded* :class:`asyncio.Queue`, processed in
+    arrival order, and the resulting decision events are broadcast to every
+    connected client.  When the inbox is full a further ``submit`` is
+    answered with ``{"event": "accepted", "accepted": false, "reason":
+    "overloaded"}`` and never enqueued — backpressure keeps the service's
+    memory bounded under overload (control ops still queue, applying
+    natural flow control to their connection).  ``stop()`` drains in-flight
+    submissions first (bounded by ``drain_grace`` seconds), then closes the
+    socket and removes its path — no orphaned asyncio task survives it.
+
+    ``listen`` accepts a filesystem path / ``unix:PATH`` (Unix socket) or
+    ``tcp:HOST:PORT`` (TCP; port ``0`` binds an ephemeral port, read the
+    bound address back from :attr:`endpoint` after :meth:`start`).
     """
 
     def __init__(
         self,
         core: SchedulerCore,
-        socket_path: str | Path,
+        listen: str | Path,
         *,
         drain_grace: float = 5.0,
+        inbox_limit: int = 1024,
     ) -> None:
         self.core = core
-        self.socket_path = Path(socket_path)
+        self._endpoint = parse_endpoint(listen)
+        #: Socket path for Unix-socket services; ``None`` over TCP.
+        self.socket_path = Path(self._endpoint[1]) if self._endpoint[0] == "unix" else None
         self.drain_grace = float(drain_grace)
+        if inbox_limit < 1:
+            raise ValueError("inbox_limit must be at least 1")
+        self.inbox_limit = int(inbox_limit)
+        #: The exception that killed the admission loop, if any — a loud
+        #: record of an ungraceful shutdown.
+        self.failure: BaseException | None = None
         self._server: asyncio.AbstractServer | None = None
         self._inbox: asyncio.Queue | None = None
         self._admission: asyncio.Task | None = None
@@ -331,17 +387,30 @@ class SchedulerService:
         self._stopped = asyncio.Event()
         self._stopping = False
 
+    @property
+    def endpoint(self) -> str:
+        """The client-facing endpoint string (actual bound port over TCP)."""
+        return format_endpoint(self._endpoint)
+
     # ------------------------------------------------------------------
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("the service is already started")
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        if self.socket_path.exists():
-            self.socket_path.unlink()
-        self._inbox = asyncio.Queue()
-        self._server = await asyncio.start_unix_server(
-            self._handle_client, path=str(self.socket_path)
-        )
+        self._inbox = asyncio.Queue(maxsize=self.inbox_limit)
+        if self._endpoint[0] == "unix":
+            assert self.socket_path is not None
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(self.socket_path)
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self._endpoint[1], port=self._endpoint[2]
+            )
+            bound = self._server.sockets[0].getsockname()
+            self._endpoint = ("tcp", bound[0], bound[1])
         self._admission = asyncio.create_task(
             self._admission_loop(), name="repro-serve-admission"
         )
@@ -376,9 +445,10 @@ class SchedulerService:
             self._server = None
         for writer in list(self._writers):
             await self._discard_writer(writer)
-        with suppress(OSError):
-            if self.socket_path.exists():
-                self.socket_path.unlink()
+        if self.socket_path is not None:
+            with suppress(OSError):
+                if self.socket_path.exists():
+                    self.socket_path.unlink()
         self._stopped.set()
 
     # ------------------------------------------------------------------
@@ -399,7 +469,28 @@ class SchedulerService:
                     await self._send(writer, {"event": "error", "message": str(exc)})
                     continue
                 assert self._inbox is not None
-                await self._inbox.put((request, time.perf_counter(), writer))
+                if request.get("op") == "submit":
+                    # Backpressure: a full inbox answers an explicit
+                    # rejection instead of queueing without bound.  The
+                    # rejected task never reaches the engine.
+                    try:
+                        self._inbox.put_nowait((request, time.perf_counter(), writer))
+                    except asyncio.QueueFull:
+                        self.core.metrics.rejected_overload += 1
+                        rejection: dict = {
+                            "event": "accepted",
+                            "accepted": False,
+                            "reason": "overloaded",
+                        }
+                        task_payload = request.get("task")
+                        if isinstance(task_payload, Mapping) and "task_id" in task_payload:
+                            rejection["task_id"] = task_payload["task_id"]
+                        await self._send(writer, rejection)
+                else:
+                    # Control ops (flush/stats/close) are rare and must not
+                    # be dropped; let them wait for a slot, which simply
+                    # stalls this connection's reader.
+                    await self._inbox.put((request, time.perf_counter(), writer))
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -411,6 +502,31 @@ class SchedulerService:
             request, received, writer = await self._inbox.get()
             try:
                 closing = await self._process(request, received, writer)
+            except Exception as exc:
+                # An unexpected failure must not kill the loop silently and
+                # leave every client hanging: answer the requesting writer,
+                # record the failure loudly, and shut the service down so
+                # clients see EOF instead of an eternal stall.
+                self.failure = exc
+                print(
+                    "repro.serve: admission loop failed on "
+                    f"{request.get('op')!r}: {exc!r}\n{traceback.format_exc()}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                with suppress(Exception):
+                    await self._broadcast_decisions(self.core.take_pending())
+                with suppress(Exception):
+                    await self._send(
+                        writer,
+                        {
+                            "event": "error",
+                            "fatal": True,
+                            "message": f"internal error: {type(exc).__name__}: {exc}",
+                        },
+                    )
+                asyncio.create_task(self.stop(drain=False))
+                return
             finally:
                 self._inbox.task_done()
             if closing:
@@ -433,15 +549,26 @@ class SchedulerService:
             try:
                 decisions = self.core.submit(spec, received=received)
             except (ValueError, RuntimeError) as exc:
-                await self._send(writer, {"event": "error", "message": str(exc)})
+                # Broadcast anything the engine produced before the failure
+                # first: a decision stranded in the core's pending buffer
+                # would otherwise surface late, attributed to the next
+                # unrelated request.
+                await self._broadcast_decisions(self.core.take_pending())
+                await self._send(
+                    writer,
+                    {"event": "error", "task_id": spec.task_id, "message": str(exc)},
+                )
                 return False
-            await self._send(writer, {"event": "accepted", "task_id": spec.task_id})
+            await self._send(
+                writer, {"event": "accepted", "accepted": True, "task_id": spec.task_id}
+            )
             await self._broadcast_decisions(decisions)
             return False
         if op == "flush":
             try:
                 decisions = self.core.flush()
             except RuntimeError as exc:
+                await self._broadcast_decisions(self.core.take_pending())
                 await self._send(writer, {"event": "error", "message": str(exc)})
                 return False
             await self._broadcast_decisions(decisions)
@@ -456,6 +583,7 @@ class SchedulerService:
             try:
                 decisions = self.core.close()
             except RuntimeError as exc:
+                await self._broadcast_decisions(self.core.take_pending())
                 await self._send(writer, {"event": "error", "message": str(exc)})
                 return False
             await self._broadcast_decisions(decisions)

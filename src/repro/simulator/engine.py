@@ -282,12 +282,13 @@ class HCSimulator:
         self._reset_state()
         self.heuristic.reset()
 
-    def inject_task(self, spec: TaskSpec) -> Task:
-        """Add one arriving task to the live system.
+    def validate_inject(self, spec: TaskSpec) -> None:
+        """Check a submission against the live stream *without* touching state.
 
-        The arrival must not predate an already-processed event timestamp:
-        the mapping event at that instant has fired and cannot be re-run
-        without breaking replay equivalence.
+        Raises exactly the errors :meth:`inject_task` would raise — duplicate
+        task id, or an arrival at or before an already-processed event
+        timestamp — so admission layers can reject a submission *before*
+        advancing the virtual clock on its behalf.
         """
         if self.state is None:
             raise RuntimeError("begin_stream() must be called before inject_task()")
@@ -298,6 +299,15 @@ class HCSimulator:
                 f"task {spec.task_id} arrives at {spec.arrival}, but the engine "
                 f"has already processed events through {self._processed_through}"
             )
+
+    def inject_task(self, spec: TaskSpec) -> Task:
+        """Add one arriving task to the live system.
+
+        The arrival must not predate an already-processed event timestamp:
+        the mapping event at that instant has fired and cannot be re-run
+        without breaking replay equivalence.
+        """
+        self.validate_inject(spec)
         task = Task(spec)
         self.tasks[spec.task_id] = task
         self.events.push(spec.arrival, EventKind.ARRIVAL, spec.task_id)

@@ -98,6 +98,7 @@ class TestRunBench:
                 "multiplier",
                 "tasks",
                 "decisions",
+                "rejected",
                 "wall_seconds",
                 "decisions_per_sec",
                 "submitted_per_sec",

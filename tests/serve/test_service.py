@@ -22,7 +22,10 @@ from repro.serve import (
     SchedulerCore,
     SchedulerService,
     decision_map,
+    decode_line,
+    encode_line,
     offline_decision_map,
+    parse_endpoint,
     replay_trace,
     slice_trace,
     spec_from_payload,
@@ -206,6 +209,222 @@ class TestAdmissionGuards:
         assert held == []  # the time-10 batch is still open
         flushed = core.flush()
         assert any(d.action == "assigned" and d.task_id == 0 for d in flushed)
+
+
+class TestRejectionStateIsolation:
+    def test_rejected_submissions_leave_stream_identical(
+        self, small_gamma_pet, small_trace
+    ):
+        """A rejected submit (duplicate id, late arrival) must not move the
+        engine frontier, fire mapping events, or perturb any later decision
+        — the probed core's stream stays bit-identical to a control core
+        that never saw the rejects."""
+        control = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        probed = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        control_decisions: list = []
+        probed_decisions: list = []
+        mid = len(small_trace) // 2
+        for index, spec in enumerate(small_trace):
+            control_decisions.extend(control.submit(spec))
+            probed_decisions.extend(probed.submit(spec))
+            if index == mid:
+                frontier = probed._sim._processed_through
+                mapping_events = probed.metrics.mapping_events
+                with pytest.raises(ValueError, match="already processed"):
+                    probed.submit(
+                        TaskSpec(arrival=0, task_id=999_001, task_type=0, deadline=10**6)
+                    )
+                with pytest.raises(ValueError, match="already injected"):
+                    probed.submit(spec)
+                assert probed._sim._processed_through == frontier
+                assert probed.metrics.mapping_events == mapping_events
+                assert probed.take_pending() == []
+        control_decisions.extend(control.close())
+        probed_decisions.extend(probed.close())
+        assert probed.metrics.rejected == 2
+        assert decision_map(probed_decisions) == decision_map(control_decisions)
+        assert probed.result.summary() == control.result.summary()
+
+
+class TestBookkeepingBounds:
+    def test_per_task_state_pruned_at_terminal(self, small_gamma_pet, small_trace):
+        """Submission bookkeeping is O(in-flight tasks), not O(all tasks
+        ever submitted), and empty once the run closes."""
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        for spec in small_trace:
+            core.submit(spec)
+            in_flight = (
+                core.metrics.submitted - core.metrics.completed - core.metrics.dropped
+            )
+            assert len(core._submit_wall) <= in_flight
+            assert len(core._first_decided) <= in_flight
+        core.close()
+        assert core._submit_wall == {}
+        assert core._first_decided == set()
+
+
+class TestAdmissionLoopResilience:
+    def test_unexpected_failure_is_loud_and_fatal(self, tmp_path, small_gamma_pet):
+        """A poisoned request must not kill the admission loop silently:
+        the client gets a fatal error event, the failure is recorded, and
+        the service shuts down instead of stalling every client forever."""
+
+        async def drive():
+            core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+
+            def poisoned(spec, *, received=None):
+                raise TypeError("poisoned request")
+
+            core.submit = poisoned
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            reader, writer = await asyncio.open_unix_connection(str(service.socket_path))
+            spec = TaskSpec(arrival=1, task_id=0, task_type=0, deadline=100)
+            writer.write(encode_line({"op": "submit", "task": spec_to_payload(spec)}))
+            await writer.drain()
+            events = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                events.append(decode_line(line))
+            await service.wait_stopped()
+            writer.close()
+            return service, events
+
+        service, events = asyncio.run(drive())
+        errors = [e for e in events if e.get("event") == "error"]
+        assert errors and errors[0]["fatal"] is True
+        assert "TypeError" in errors[0]["message"]
+        assert isinstance(service.failure, TypeError)
+
+    def test_error_path_still_broadcasts_pending_decisions(
+        self, tmp_path, small_gamma_pet
+    ):
+        """Decisions produced before a mid-submit failure must reach the
+        clients *before* the error event — never stranded in the core's
+        pending buffer to surface attributed to the next request."""
+
+        async def drive():
+            core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+
+            def failing(spec, *, received=None):
+                core._emit(spec.task_id, "assigned", time=0, machine=0)
+                raise RuntimeError("engine fell over mid-submit")
+
+            core.submit = failing
+            service = SchedulerService(core, tmp_path / "serve.sock")
+            await service.start()
+            reader, writer = await asyncio.open_unix_connection(str(service.socket_path))
+            spec = TaskSpec(arrival=1, task_id=0, task_type=0, deadline=100)
+            writer.write(encode_line({"op": "submit", "task": spec_to_payload(spec)}))
+            await writer.drain()
+            first = decode_line(await reader.readline())
+            second = decode_line(await reader.readline())
+            await service.stop(drain=False)
+            writer.close()
+            return first, second
+
+        first, second = asyncio.run(drive())
+        assert first["event"] == "decision" and first["task_id"] == 0
+        assert second["event"] == "error" and second["task_id"] == 0
+        assert "fell over" in second["message"]
+
+
+class TestBackpressure:
+    def test_full_inbox_rejects_submissions_explicitly(self, tmp_path, small_gamma_pet):
+        """With the admission loop frozen, submissions beyond the bounded
+        inbox are answered accepted=false and never reach the engine."""
+
+        async def drive():
+            core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+            service = SchedulerService(core, tmp_path / "serve.sock", inbox_limit=2)
+            await service.start()
+            assert service._admission is not None
+            service._admission.cancel()
+            await asyncio.sleep(0)
+            reader, writer = await asyncio.open_unix_connection(str(service.socket_path))
+            for task_id in range(4):
+                writer.write(
+                    encode_line(
+                        {
+                            "op": "submit",
+                            "task": {
+                                "task_id": task_id,
+                                "task_type": 0,
+                                "arrival": 1,
+                                "deadline": 100,
+                            },
+                        }
+                    )
+                )
+            await writer.drain()
+            rejections = [decode_line(await reader.readline()) for _ in range(2)]
+            await service.stop(drain=False)
+            writer.close()
+            return core, rejections
+
+        core, rejections = asyncio.run(drive())
+        for event in rejections:
+            assert event["event"] == "accepted"
+            assert event["accepted"] is False
+            assert event["reason"] == "overloaded"
+        assert {event["task_id"] for event in rejections} == {2, 3}
+        assert core.metrics.rejected_overload == 2
+        assert core.metrics.submitted == 0  # nothing reached the engine
+
+    def test_inbox_limit_validated(self, tmp_path, small_gamma_pet):
+        core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+        with pytest.raises(ValueError, match="inbox_limit"):
+            SchedulerService(core, tmp_path / "serve.sock", inbox_limit=0)
+
+
+class TestTcpTransport:
+    def test_tcp_stream_matches_offline(self, small_gamma_pet, small_trace):
+        """The same wire protocol over TCP: replay-equivalence holds and
+        the ephemeral bound port is readable back from the endpoint."""
+
+        async def drive():
+            core = SchedulerCore(small_gamma_pet, _heuristic(small_gamma_pet), rng=5)
+            service = SchedulerService(core, "tcp:127.0.0.1:0")
+            await service.start()
+            assert service.socket_path is None
+            host, port = service.endpoint.rsplit(":", 2)[-2:]
+            assert host == "127.0.0.1" and int(port) > 0
+            try:
+                return await replay_trace(
+                    service.endpoint, small_trace, rate=10_000.0, close=True
+                )
+            finally:
+                await service.stop(drain=False)
+
+        outcome = asyncio.run(drive())
+        offline = _offline(small_gamma_pet, small_trace)
+        assert decision_map(outcome.decisions) == offline_decision_map(offline)
+        assert outcome.closed is not None
+        assert outcome.closed["summary"] == offline.summary()
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("/tmp/serve.sock", ("unix", "/tmp/serve.sock")),
+            ("unix:/tmp/serve.sock", ("unix", "/tmp/serve.sock")),
+            ("tcp:127.0.0.1:7077", ("tcp", "127.0.0.1", 7077)),
+            ("tcp://127.0.0.1:7077", ("tcp", "127.0.0.1", 7077)),
+            ("tcp::0", ("tcp", "127.0.0.1", 0)),
+        ],
+    )
+    def test_parse_endpoint(self, value, expected):
+        assert parse_endpoint(value) == expected
+
+    @pytest.mark.parametrize(
+        "value", ["", "tcp:7077", "tcp:host:notaport", "tcp:host:70777"]
+    )
+    def test_bad_endpoints_rejected(self, value):
+        with pytest.raises(ValueError):
+            parse_endpoint(value)
 
 
 class TestWireProtocol:

@@ -579,6 +579,43 @@ class TestServeCommands:
         assert args.pet == "transcoding"
         assert args.heuristic == "PAMF"
         assert args.drain_grace == 5.0
+        assert args.workers == 1
+        assert args.inbox_limit is None
+        assert args.listen is None
+
+    def test_run_accepts_tcp_listen_with_workers(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "run", "--listen", "tcp:127.0.0.1:0",
+                "--workers", "4", "--inbox-limit", "64",
+            ]
+        )
+        assert args.listen == "tcp:127.0.0.1:0"
+        assert args.socket is None
+        assert args.workers == 4
+        assert args.inbox_limit == 64
+
+    def test_run_socket_and_listen_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "run", "--socket", "/tmp/s.sock", "--listen", "tcp::0"]
+            )
+
+    def test_submit_requires_exactly_one_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "submit", "--trace", "t.json"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "serve", "submit", "--socket", "/tmp/s.sock",
+                    "--connect", "tcp:127.0.0.1:7077", "--trace", "t.json",
+                ]
+            )
+        args = build_parser().parse_args(
+            ["serve", "submit", "--connect", "tcp:127.0.0.1:7077", "--trace", "t.json"]
+        )
+        assert args.connect == "tcp:127.0.0.1:7077"
+        assert args.socket is None
 
     def test_submit_requires_exactly_one_source(self):
         with pytest.raises(SystemExit):
@@ -598,6 +635,22 @@ class TestServeCommands:
         assert args.rates == [10.0, 100.0, 1000.0]
         assert args.out == "BENCH_serve.json"
         assert not args.no_check
+        assert args.transport == "unix"
+        assert args.workers == 1
+        assert args.inbox_limit is None
+
+    def test_bench_topology_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "bench", "--transport", "tcp",
+                "--workers", "2", "--inbox-limit", "8",
+            ]
+        )
+        assert args.transport == "tcp"
+        assert args.workers == 2
+        assert args.inbox_limit == 8
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "bench", "--transport", "udp"])
 
     def test_bench_rejects_nonpositive_rate(self):
         with pytest.raises(SystemExit):
@@ -622,3 +675,26 @@ class TestServeCommands:
         assert payload["benchmark"] == "repro.serve"
         assert payload["trace_tasks"] == 12
         assert [row["multiplier"] for row in payload["rates"]] == [500.0, 5000.0]
+        assert payload["transport"] == "unix"
+        assert payload["workers"] == 1
+
+    def test_bench_sharded_tcp_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve_shard2.json"
+        exit_code = main(
+            [
+                "serve", "bench",
+                "--trace", "examples/transcoding_660.trace.json",
+                "--tasks", "12",
+                "--rates", "2000",
+                "--transport", "tcp",
+                "--workers", "2",
+                "--out", str(out),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "replay-equivalent to offline run: True" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["transport"] == "tcp"
+        assert payload["workers"] == 2
+        assert payload["equivalent_to_offline"] is True
