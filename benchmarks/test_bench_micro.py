@@ -391,6 +391,96 @@ def test_bench_incremental_system_state(benchmark, spec_pet):
     )
 
 
+def test_bench_obs_overhead(benchmark, spec_pet):
+    """The observability acceptance gate: disabled telemetry costs <2%.
+
+    With the default :data:`~repro.obs.NULL_TELEMETRY` active, the
+    instrumented hot paths execute one extra ``obs.enabled`` guard (a class
+    attribute read on a shared singleton) per hook site and nothing else —
+    no span objects, no clock reads, no dict updates.  This bench measures
+    that guard cost directly and gates it as a fraction of the two paper
+    loops it rides on:
+
+    * the per-event simulator loop (~1 ms/task at paper scale), budgeting a
+      generous 25 hook executions per event, and
+    * one ScoreTable fill (2 hook executions), whose duration is taken from
+      our own tracing of the same run.
+
+    Both ratios must stay under 2%.  The enabled-tracing overhead (full
+    span recording) is measured on the same 150-task simulation and
+    recorded ungated — tracing is opt-in and allowed to cost more.
+    """
+    from repro.obs import NULL_TELEMETRY, Telemetry, use_telemetry
+    from repro.obs import active as obs_active
+
+    trace = generate_workload(
+        WorkloadConfig(num_tasks=150, time_span=900, beta=1.5), spec_pet, rng=11
+    )
+
+    def run(telemetry):
+        heuristic = make_heuristic("PAMF", num_task_types=spec_pet.num_task_types)
+        with use_telemetry(telemetry):
+            return simulate(spec_pet, heuristic, trace, rng=13)
+
+    def best_of(fn, repeats):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # The exact statements a disabled hook site executes, timed in bulk.
+    hook_reps = 200_000
+    counter = 0
+
+    def disabled_hooks():
+        nonlocal counter
+        for _ in range(hook_reps):
+            obs = obs_active()
+            if obs.enabled:
+                raise AssertionError("telemetry must be disabled here")
+            counter += 1
+
+    assert obs_active() is NULL_TELEMETRY
+    hook_seconds = best_of(disabled_hooks, 5) / hook_reps
+
+    null_seconds = best_of(lambda: run(NULL_TELEMETRY), 3)
+    # Arrival + finish per task undercounts the true event total (markers,
+    # mapping events), which overstates the per-event hook ratio: the gate
+    # is conservative.
+    event_seconds = null_seconds / (2 * 150)
+    per_event_ratio = 25 * hook_seconds / event_seconds
+
+    telemetry = Telemetry()
+    traced_seconds = best_of(lambda: run(telemetry), 3)
+    fill = telemetry.timings["score_table.fill"]
+    fill_seconds = fill.mean
+    per_fill_ratio = 2 * hook_seconds / fill_seconds
+
+    result = benchmark.pedantic(lambda: run(NULL_TELEMETRY), rounds=1, iterations=1)
+    assert all(t.is_terminal for t in result.tasks)
+    enabled_overhead = traced_seconds / null_seconds - 1.0
+
+    row = {
+        "hook_ns": round(hook_seconds * 1e9, 2),
+        "event_us": round(event_seconds * 1e6, 2),
+        "fill_us": round(fill_seconds * 1e6, 2),
+        "disabled_per_event_percent": round(per_event_ratio * 100, 4),
+        "disabled_per_fill_percent": round(per_fill_ratio * 100, 4),
+        "enabled_overhead_percent": round(enabled_overhead * 100, 2),
+        "gate_percent": 2.0,
+    }
+    benchmark.extra_info.update(row)
+    record_bench("obs_overhead", row)
+    assert per_event_ratio < 0.02, (
+        f"disabled telemetry hooks cost {per_event_ratio:.2%} of the event loop"
+    )
+    assert per_fill_ratio < 0.02, (
+        f"disabled telemetry hooks cost {per_fill_ratio:.2%} of a ScoreTable fill"
+    )
+
+
 @pytest.mark.parametrize("heuristic_name", ["MM", "PAM"])
 def test_bench_full_small_simulation(benchmark, spec_pet, heuristic_name):
     trace = generate_workload(

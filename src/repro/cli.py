@@ -82,6 +82,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 from . import (
@@ -178,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = map at every event, the paper's protocol)",
     )
     _add_kernel_backend_argument(sim)
+    _add_obs_arguments(sim)
 
     fig = subparsers.add_parser("figure", help="regenerate one evaluation figure")
     fig.add_argument("number", type=int, choices=sorted(_FIGURES), help="figure number (4-9)")
@@ -353,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress on stderr"
     )
+    _add_obs_arguments(replay)
 
     serve = subparsers.add_parser(
         "serve", help="online scheduler service: host it, feed it, or benchmark it"
@@ -388,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched scheduling-round window in time units (0 = per-event)",
     )
     _add_kernel_backend_argument(serve_run)
+    _add_obs_arguments(serve_run)
     serve_run.add_argument(
         "--drain-grace",
         type=_positive_float,
@@ -522,6 +526,7 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
         "the paper's protocol; folded into the result cache key)",
     )
     _add_kernel_backend_argument(parser)
+    _add_obs_arguments(parser)
     parser.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     parser.add_argument("--cache-dir", default=None, help="content-addressed result cache root")
     _add_backend_arguments(parser)
@@ -532,6 +537,60 @@ def _add_figure_run_arguments(parser: argparse.ArgumentParser) -> None:
         help="replay this recorded trace file instead of synthesising workloads "
         "(figure 9 only; e.g. examples/transcoding_660.trace.json)",
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability export options shared by the engine-running commands.
+
+    Either flag enables the in-process telemetry registry for the whole
+    command (spans, counters, timing histograms); without them the command
+    runs against the no-op registry and executes bit-identical code.
+    """
+    parser.add_argument(
+        "--obs-trace",
+        default=None,
+        metavar="PATH",
+        help="record spans and write a Chrome trace-event JSON timeline here "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--obs-snapshot",
+        default=None,
+        metavar="PATH",
+        help="write a flat JSON snapshot of telemetry counters/gauges/timing "
+        "histograms here",
+    )
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace):
+    """Scope a recording telemetry registry around one CLI command.
+
+    No-op (the null registry stays active) unless ``--obs-trace`` or
+    ``--obs-snapshot`` was given.  Exports run in a ``finally`` so an
+    interrupted command (Ctrl-C on ``serve run``) still writes what it
+    recorded.  Only in-process work is captured: trials executed by
+    process-pool/queue workers and sharded serve engines run in child
+    processes and contribute no spans to this registry.
+    """
+    trace_path = getattr(args, "obs_trace", None)
+    snapshot_path = getattr(args, "obs_snapshot", None)
+    if trace_path is None and snapshot_path is None:
+        yield None
+        return
+    from .obs import Telemetry, use_telemetry, write_chrome_trace, write_snapshot
+
+    telemetry = Telemetry()
+    try:
+        with use_telemetry(telemetry):
+            yield telemetry
+    finally:
+        if trace_path is not None:
+            path = write_chrome_trace(telemetry, trace_path)
+            print(f"wrote obs trace: {path}", file=sys.stderr)
+        if snapshot_path is not None:
+            path = write_snapshot(telemetry, snapshot_path)
+            print(f"wrote obs snapshot: {path}", file=sys.stderr)
 
 
 def _add_kernel_backend_argument(parser: argparse.ArgumentParser) -> None:
@@ -1079,7 +1138,8 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     if args.serve_command == "run":
-        return _command_serve_run(args)
+        with _obs_session(args):
+            return _command_serve_run(args)
     if args.serve_command == "submit":
         return _command_serve_submit(args)
     if args.serve_command == "bench":
@@ -1093,18 +1153,22 @@ def _command_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "inspect":
         return _command_trace_inspect(args)
     if args.trace_command == "replay":
-        return _command_trace_replay(args)
+        with _obs_session(args):
+            return _command_trace_replay(args)
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
-        return _command_simulate(args)
+        with _obs_session(args):
+            return _command_simulate(args)
     if args.command == "figure":
-        return _command_figure(args)
+        with _obs_session(args):
+            return _command_figure(args)
     if args.command == "sweep":
-        return _command_sweep(args)
+        with _obs_session(args):
+            return _command_sweep(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "worker":

@@ -51,6 +51,7 @@ from __future__ import annotations
 import importlib
 import importlib.util
 import os
+import time
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -77,6 +78,7 @@ __all__ = [
     "NumpyBackend",
     "NumbaBackend",
     "ArrayApiBackend",
+    "InstrumentedBackend",
     "available_backends",
     "backend_available",
     "get_backend",
@@ -614,6 +616,105 @@ class use_backend:
         if self._spec is not None:
             global _ACTIVE
             _ACTIVE = self._previous
+
+
+class InstrumentedBackend:
+    """A delegating backend wrapper timing every kernel call into telemetry.
+
+    Each call becomes a ``kernel.<backend>.<method>`` span (metric names
+    precomputed at construction, so the per-call overhead is two
+    ``perf_counter_ns`` stamps plus one ``add_span``).  The engine installs
+    this wrapper around its resolved backend *only when telemetry is
+    enabled* — a disabled run dispatches through the bare backend and
+    executes bit-identical code (the never-perturbs contract in
+    :mod:`repro.obs`).
+
+    Wrapping never changes cache identity: :attr:`name`/``rtol``/``atol``
+    mirror the inner backend, and :func:`kernel_cache_tag` only ever sees
+    backend *names*.
+    """
+
+    __slots__ = ("inner", "telemetry", "name", "rtol", "atol", "_metric")
+
+    def __init__(self, inner: KernelBackend, telemetry) -> None:
+        self.inner = inner
+        self.telemetry = telemetry
+        self.name = inner.name
+        self.rtol = inner.rtol
+        self.atol = inner.atol
+        prefix = f"kernel.{inner.name}."
+        self._metric = {
+            method: prefix + method
+            for method in (
+                "shift",
+                "convolve",
+                "convolve_ragged",
+                "sequential_sum",
+                "success_probability",
+                "expected_completion",
+            )
+        }
+
+    def shift(self, batch: PMFBatch, delta) -> PMFBatch:
+        start = time.perf_counter_ns()
+        result = self.inner.shift(batch, delta)
+        self.telemetry.add_span(
+            self._metric["shift"], start, time.perf_counter_ns() - start
+        )
+        return result
+
+    def convolve(self, batch: PMFBatch, kernel: DiscretePMF) -> PMFBatch:
+        start = time.perf_counter_ns()
+        result = self.inner.convolve(batch, kernel)
+        self.telemetry.add_span(
+            self._metric["convolve"], start, time.perf_counter_ns() - start
+        )
+        return result
+
+    def convolve_ragged(
+        self, batch: PMFBatch, kernels: Sequence[DiscretePMF]
+    ) -> PMFBatch:
+        start = time.perf_counter_ns()
+        result = self.inner.convolve_ragged(batch, kernels)
+        self.telemetry.add_span(
+            self._metric["convolve_ragged"], start, time.perf_counter_ns() - start
+        )
+        return result
+
+    def sequential_sum(self, values: np.ndarray, axis: int = -1) -> np.ndarray:
+        start = time.perf_counter_ns()
+        result = self.inner.sequential_sum(values, axis=axis)
+        self.telemetry.add_span(
+            self._metric["sequential_sum"], start, time.perf_counter_ns() - start
+        )
+        return result
+
+    def success_probability(
+        self,
+        availability: PMFBatch,
+        execution: CDFTable,
+        type_indices: np.ndarray,
+        deadlines: np.ndarray,
+        machine_indices: np.ndarray | None = None,
+    ) -> np.ndarray:
+        start = time.perf_counter_ns()
+        result = self.inner.success_probability(
+            availability, execution, type_indices, deadlines, machine_indices
+        )
+        self.telemetry.add_span(
+            self._metric["success_probability"], start, time.perf_counter_ns() - start
+        )
+        return result
+
+    def expected_completion(
+        self, availability_means: np.ndarray, execution_means: np.ndarray
+    ) -> np.ndarray:
+        start = time.perf_counter_ns()
+        result = self.inner.expected_completion(availability_means, execution_means)
+        self.telemetry.add_span(
+            self._metric["expected_completion"], start, time.perf_counter_ns() - start
+        )
+        return result
 
 
 def kernel_cache_tag(

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Iterable
 
 import numpy as np
@@ -44,6 +45,7 @@ from ..core.batch import PMFBatch
 from ..core.completion import chain_step
 from ..core.kernels import active_backend
 from ..core.pmf import DiscretePMF
+from ..obs.telemetry import active as obs_active
 from ..pet.matrix import PETMatrix
 from ..simulator.mapping import MappingContext, MappingDecision
 from ..simulator.task import Task
@@ -191,7 +193,19 @@ class ScoreTable:
         self.robustness = np.full((self.n, self.m), -1.0, dtype=np.float64)
         self.completion = np.full((self.n, self.m), np.inf, dtype=np.float64)
         self.machine_open = np.zeros(self.m, dtype=bool)
+        obs = obs_active()
+        if obs.enabled:
+            start_ns = perf_counter_ns()
         self.refresh_machines((vm.index for vm in virtual.machines), virtual)
+        if obs.enabled:
+            obs.add_span(
+                "score_table.fill",
+                start_ns,
+                perf_counter_ns() - start_ns,
+                tasks=self.n,
+                machines=self.m,
+            )
+            obs.count("score_table.fills")
 
     # ------------------------------------------------------------------
     def mark_dirty(self, machine_index: int) -> None:
@@ -209,7 +223,19 @@ class ScoreTable:
             return
         dirty = sorted(self._dirty)
         self._dirty.clear()
+        obs = obs_active()
+        if obs.enabled:
+            start_ns = perf_counter_ns()
         self.refresh_machines(dirty, self._virtual)
+        if obs.enabled:
+            obs.add_span(
+                "score_table.rescore",
+                start_ns,
+                perf_counter_ns() - start_ns,
+                columns=len(dirty),
+            )
+            obs.count("score_table.rescores")
+            obs.count("score_table.dirty_columns", len(dirty))
 
     def refresh_machines(
         self, machine_indices: Iterable[int], virtual: VirtualSystemState

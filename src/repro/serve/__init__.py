@@ -13,8 +13,11 @@ promotes it to a long-running admission service:
   front-end that shards submissions by task type across N engine-worker
   processes and merges their decisions into one globally-sequenced stream;
 * :mod:`repro.serve.metrics` — :class:`ServiceMetrics` counters plus a
-  latency histogram with exact percentile read-out, and
-  :func:`merge_snapshots` for the sharded stats view;
+  fixed-size log-bucketed admission-latency histogram (built on
+  :class:`repro.obs.LogBucketHistogram`, bounded memory at any uptime),
+  and :func:`merge_snapshots` for the sharded stats view — exact when
+  every shard ships its histogram payload, conservative on legacy
+  summary-only snapshots;
 * :mod:`repro.serve.loadgen` — trace replay at a wall-clock arrival-rate
   multiplier and the ``repro serve bench`` throughput/latency harness
   (any transport/topology, with the overload rejection curve);

@@ -2,9 +2,18 @@
 
 :class:`ServiceMetrics` is deliberately dependency-free and synchronous —
 the admission loop updates it inline, and ``stats`` requests serialise a
-snapshot.  The latency histogram keeps every recorded sample (admission
-volumes are task-scale, not packet-scale) so percentiles are exact, plus
-log-spaced bucket counts for a compact rendered distribution.
+snapshot.  The latency histogram is the shared bounded log-bucketed schema
+from :mod:`repro.obs.histogram`: **fixed memory however long the service
+lives** (the pre-obs implementation kept every recorded sample, which grew
+without bound on a long-lived service), exact count/mean/max, and pinned
+upper-bound quantile semantics (nearest rank over the log buckets, clamped
+to the exact max — see :class:`~repro.obs.histogram.LogBucketHistogram`).
+
+Because the buckets are fixed, per-shard snapshots **merge exactly**:
+:func:`merge_snapshots` sums bucket counts across shards and reads the
+percentiles off the merged histogram, instead of the conservative
+worst-shard upper bound it falls back to for histogram-less (legacy)
+snapshots.
 """
 
 from __future__ import annotations
@@ -13,56 +22,30 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from ..obs.histogram import LogBucketHistogram
+
 __all__ = ["LatencyHistogram", "ServiceMetrics", "merge_snapshots"]
 
-#: Upper edges (seconds) of the rendered log-spaced buckets: 0.1 ms .. 100 s.
-_BUCKET_EDGES = tuple(10.0 ** (exp / 2.0) for exp in range(-8, 5))
 
+class LatencyHistogram(LogBucketHistogram):
+    """Admission-latency histogram: bounded log buckets over 1 µs .. 1000 s.
 
-@dataclass
-class LatencyHistogram:
-    """Latency samples with exact percentiles and log-bucket counts."""
+    The summary keys (``count``/``mean_s``/``p50_s``/``p95_s``/``p99_s``/
+    ``max_s``) are unchanged from the exact-sample implementation; the
+    percentile read-out is now the pinned bucket-upper-edge quantile
+    (within one bucket's ~15.5% relative width of the true value) instead
+    of an exact order statistic — the price of bounded memory.
+    """
 
-    samples: list[float] = field(default_factory=list)
-    buckets: dict[float, int] = field(default_factory=dict)
+    def __init__(self) -> None:
+        super().__init__(lo=1e-6, hi=1e3, buckets_per_decade=16)
 
     def record(self, seconds: float) -> None:
         if seconds < 0 or not math.isfinite(seconds):
-            raise ValueError(f"latency must be finite and non-negative, got {seconds!r}")
-        self.samples.append(float(seconds))
-        for edge in _BUCKET_EDGES:
-            if seconds <= edge:
-                self.buckets[edge] = self.buckets.get(edge, 0) + 1
-                break
-        else:
-            self.buckets[math.inf] = self.buckets.get(math.inf, 0) + 1
-
-    def __len__(self) -> int:
-        return len(self.samples)
-
-    def percentile(self, q: float) -> float:
-        """Exact q-th percentile (nearest-rank); ``nan`` with no samples."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be within [0, 100]")
-        if not self.samples:
-            return float("nan")
-        ordered = sorted(self.samples)
-        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
-
-    def summary(self) -> dict[str, float]:
-        """Headline latency figures in seconds (nan-valued when empty)."""
-        if not self.samples:
-            nan = float("nan")
-            return {"count": 0, "mean_s": nan, "p50_s": nan, "p95_s": nan, "p99_s": nan, "max_s": nan}
-        return {
-            "count": len(self.samples),
-            "mean_s": sum(self.samples) / len(self.samples),
-            "p50_s": self.percentile(50.0),
-            "p95_s": self.percentile(95.0),
-            "p99_s": self.percentile(99.0),
-            "max_s": max(self.samples),
-        }
+            raise ValueError(
+                f"latency must be finite and non-negative, got {seconds!r}"
+            )
+        super().record(float(seconds))
 
 
 @dataclass
@@ -85,7 +68,15 @@ class ServiceMetrics:
     admission: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def snapshot(self) -> dict[str, object]:
-        """JSON-serialisable copy of every counter plus latency summary."""
+        """JSON-serialisable copy of every counter plus latency summary.
+
+        ``admission_latency`` carries the headline summary keys plus the
+        full bucket payload under ``"hist"`` so downstream consumers
+        (:func:`merge_snapshots`, the sharded ``stats`` fan-in) can merge
+        percentiles exactly.
+        """
+        latency: dict[str, object] = dict(self.admission.summary())
+        latency["hist"] = self.admission.to_payload()
         return {
             "submitted": self.submitted,
             "rejected": self.rejected,
@@ -95,7 +86,7 @@ class ServiceMetrics:
             "dropped": self.dropped,
             "decisions": self.decisions,
             "mapping_events": self.mapping_events,
-            "admission_latency": self.admission.summary(),
+            "admission_latency": latency,
         }
 
 
@@ -112,35 +103,95 @@ _COUNTER_KEYS = (
 )
 
 
+def _zero_latency_summary() -> dict[str, float]:
+    nan = float("nan")
+    return {"count": 0, "mean_s": nan, "p50_s": nan, "p95_s": nan,
+            "p99_s": nan, "max_s": nan}
+
+
 def merge_snapshots(snapshots: Sequence[Mapping]) -> dict[str, object]:
     """Aggregate per-shard metric snapshots into one service-wide view.
 
-    Counters sum exactly.  Admission-latency percentiles cannot be merged
-    exactly from summaries, so the merged figures are *conservative*: the
-    count sums, the mean is count-weighted, and each percentile (and the
-    max) is the worst shard's value — an upper bound on the true merged
-    percentile.
+    Counters sum exactly; a shard missing a counter key contributes zero.
+    An empty snapshot list (or one whose shards never produced metrics)
+    yields a well-formed zero snapshot instead of skewing any figure.
+
+    Admission latency merges **exactly** when every contributing shard
+    snapshot carries the histogram payload (``admission_latency.hist``
+    with an identical bucket layout — always true for same-version
+    shards): bucket counts sum and the merged percentiles are read off
+    the combined histogram.  Snapshots without the payload (legacy, or a
+    foreign layout) fall back to the conservative merge — count-weighted
+    mean, worst-shard percentiles/max as an upper bound on the truth.
+    Shards with zero recorded latencies are identities in either mode: a
+    fresh shard can no longer skew the merged percentiles.
     """
     merged: dict[str, object] = {key: 0 for key in _COUNTER_KEYS}
+    contributing: list[Mapping] = []
+    for snapshot in snapshots:
+        if not isinstance(snapshot, Mapping):
+            continue
+        for key in _COUNTER_KEYS:
+            try:
+                merged[key] += int(snapshot.get(key, 0) or 0)
+            except (TypeError, ValueError):
+                continue
+        latency = snapshot.get("admission_latency")
+        if isinstance(latency, Mapping) and int(latency.get("count", 0) or 0) > 0:
+            contributing.append(latency)
+
+    if not contributing:
+        merged["admission_latency"] = _zero_latency_summary()
+        return merged
+
+    merged_hist = _merge_latency_hists(contributing)
+    if merged_hist is not None:
+        latency_out: dict[str, object] = dict(merged_hist.summary())
+        latency_out["hist"] = merged_hist.to_payload()
+        merged["admission_latency"] = latency_out
+        return merged
+
+    # Conservative fallback: exact count and count-weighted mean, worst
+    # shard's percentiles and max (an upper bound on the merged truth).
     total_count = 0
     weighted_mean = 0.0
-    worst: dict[str, float] = {"p50_s": float("nan"), "p95_s": float("nan"), "p99_s": float("nan"), "max_s": float("nan")}
-    for snapshot in snapshots:
-        for key in _COUNTER_KEYS:
-            merged[key] += int(snapshot.get(key, 0))
-        latency = snapshot.get("admission_latency", {})
-        count = int(latency.get("count", 0))
-        if count > 0:
-            total_count += count
-            weighted_mean += count * float(latency.get("mean_s", 0.0))
-            for key in worst:
-                value = float(latency.get(key, float("nan")))
-                if math.isnan(worst[key]) or value > worst[key]:
-                    worst[key] = value
-    nan = float("nan")
+    worst = {"p50_s": float("nan"), "p95_s": float("nan"),
+             "p99_s": float("nan"), "max_s": float("nan")}
+    for latency in contributing:
+        count = int(latency.get("count", 0) or 0)
+        total_count += count
+        mean = float(latency.get("mean_s", float("nan")))
+        if math.isfinite(mean):
+            weighted_mean += count * mean
+        for key in worst:
+            value = float(latency.get(key, float("nan")))
+            if math.isfinite(value) and not (value <= worst[key]):
+                worst[key] = value
     merged["admission_latency"] = {
         "count": total_count,
-        "mean_s": weighted_mean / total_count if total_count else nan,
+        "mean_s": weighted_mean / total_count if total_count else float("nan"),
         **worst,
     }
+    return merged
+
+
+def _merge_latency_hists(
+    latencies: Sequence[Mapping],
+) -> LogBucketHistogram | None:
+    """Exactly-merged histogram, or ``None`` if any shard lacks a usable one."""
+    merged: LogBucketHistogram | None = None
+    for latency in latencies:
+        payload = latency.get("hist")
+        if not isinstance(payload, Mapping):
+            return None
+        try:
+            hist = LogBucketHistogram.from_payload(dict(payload))
+        except (KeyError, TypeError, ValueError):
+            return None
+        if merged is None:
+            merged = hist
+        elif merged.compatible_with(hist):
+            merged.merge(hist)
+        else:
+            return None
     return merged

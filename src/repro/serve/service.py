@@ -49,6 +49,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.export import snapshot as obs_snapshot
+from ..obs.telemetry import active as obs_active
 from ..pet.matrix import PETMatrix
 from ..simulator.engine import HCSimulator, MappingHeuristicProtocol, SimulatorConfig
 from ..simulator.mapping import MappingDecision
@@ -147,6 +149,9 @@ class SchedulerCore:
         if self._closed:
             raise RuntimeError("the scheduler service is closed")
         received = self._clock() if received is None else received
+        obs = obs_active()
+        if obs.enabled:
+            start_ns = time.perf_counter_ns()
         # Validate *before* the virtual clock moves: a rejected submission
         # (duplicate id, late arrival) must not advance the frontier or fire
         # mapping events on its way out — rejections leave the live system
@@ -155,6 +160,7 @@ class SchedulerCore:
             self._sim.validate_inject(spec)
         except ValueError:
             self.metrics.rejected += 1
+            obs.count("serve.rejected")
             raise
         if self._watermark is not None and spec.arrival > self._watermark:
             # A later instant: every pending event before it is now safe to
@@ -165,7 +171,17 @@ class SchedulerCore:
         if self._watermark is None or spec.arrival > self._watermark:
             self._watermark = spec.arrival
         self.metrics.submitted += 1
-        return self.take_pending()
+        decisions = self.take_pending()
+        if obs.enabled:
+            obs.add_span(
+                "serve.admission",
+                start_ns,
+                time.perf_counter_ns() - start_ns,
+                task=spec.task_id,
+                decisions=len(decisions),
+            )
+            obs.count("serve.submitted")
+        return decisions
 
     def flush(self) -> list[Decision]:
         """Force-process the held watermark instant (end-of-burst)."""
@@ -575,9 +591,15 @@ class SchedulerService:
             await self._send(writer, {"event": "flushed"})
             return False
         if op == "stats":
-            await self._send(
-                writer, {"event": "stats", "metrics": self.core.metrics.snapshot()}
-            )
+            payload: dict = {"event": "stats", "metrics": self.core.metrics.snapshot()}
+            obs = obs_active()
+            if obs.enabled:
+                # Over-the-wire enrichment: when the host process is tracing,
+                # a stats request also carries the process-local telemetry
+                # snapshot (counters/gauges/timings), so remote clients can
+                # read engine/kernel internals without filesystem access.
+                payload["obs"] = obs_snapshot(obs)
+            await self._send(writer, payload)
             return False
         if op == "close":
             try:

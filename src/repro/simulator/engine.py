@@ -72,12 +72,21 @@ consumers), and a task's terminal callback never precedes its assignment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from ..core.completion import DroppingPolicy
-from ..core.kernels import KERNEL_BACKEND_NAMES, resolve_backend, use_backend
+from ..core.kernels import (
+    KERNEL_BACKEND_NAMES,
+    InstrumentedBackend,
+    active_backend,
+    resolve_backend,
+    use_backend,
+)
+from ..obs.telemetry import NULL_TELEMETRY
+from ..obs.telemetry import active as obs_active
 from ..pet.matrix import PETMatrix
 from ..utils.rng import make_generator
 from ..workload.generator import WorkloadTrace
@@ -238,6 +247,16 @@ class HCSimulator:
             if self.config.kernel_backend is not None
             else None
         )
+        #: Telemetry registry and derived loop plumbing; rebound from the
+        #: process-active registry every time a run/stream begins (see
+        #: ``_reset_state``), so one engine instance can serve traced and
+        #: untraced runs back to back.
+        self._obs = NULL_TELEMETRY
+        self._loop_backend = self._kernel_backend
+        self._mapping_span_name = f"engine.mapping_event.{self.heuristic.name}"
+        self._popped_arrivals = 0
+        self._popped_finishes = 0
+        self._popped_markers = 0
 
         self.machines: list[Machine] = []
         #: Live incremental availability state; (re)built by ``_reset_state``
@@ -327,7 +346,7 @@ class HCSimulator:
         """
         events = self.events
         events.push(time, EventKind.WATERMARK)
-        with use_backend(self._kernel_backend):
+        with use_backend(self._loop_backend):
             while True:
                 head = events.peek()
                 if head[1] == _WATERMARK:
@@ -337,10 +356,12 @@ class HCSimulator:
 
     def finish_stream(self) -> SimulationResult:
         """Drain all pending events, finalise, and return the metrics."""
-        with use_backend(self._kernel_backend):
+        with use_backend(self._loop_backend):
             while self.events:
                 self._step_once()
             self._finalise_unfinished_tasks()
+        if self._obs.enabled:
+            self._publish_obs_counters()
         ordered = tuple(
             sorted(self.tasks.values(), key=lambda t: (t.arrival, t.task_id))
         )
@@ -378,11 +399,15 @@ class HCSimulator:
         while events.pending_at(now):
             _, kind, _, task_id = events.pop()
             if kind == _ARRIVAL:
+                self._popped_arrivals += 1
                 batch[task_id] = tasks[task_id]
             elif kind == _FINISH:
+                self._popped_finishes += 1
                 self._handle_finish(tasks[task_id], now)
-            # ROUND markers (and defensively, stray watermarks) carry no
-            # payload: popping one is what forces this step to exist.
+            else:
+                # ROUND markers (and defensively, stray watermarks) carry no
+                # payload: popping one is what forces this step to exist.
+                self._popped_markers += 1
         self._drop_missed_tasks(now)
         window = self.config.batch_window
         if window == 0 or self._next_round_at is None or now >= self._next_round_at:
@@ -427,6 +452,47 @@ class HCSimulator:
         self._processed_through = -1
         self._next_round_at = None
         self._round_event_at = None
+        # Bind the active telemetry registry for this run.  Disabled (the
+        # null registry): the loop dispatches through the bare configured
+        # backend and executes bit-identical code.  Enabled: kernel calls
+        # dispatch through an InstrumentedBackend wrapper so every call is
+        # timed into ``kernel.<backend>.<method>`` spans.
+        self._obs = obs_active()
+        self._mapping_span_name = f"engine.mapping_event.{self.heuristic.name}"
+        self._popped_arrivals = 0
+        self._popped_finishes = 0
+        self._popped_markers = 0
+        if self._obs.enabled:
+            self._loop_backend = InstrumentedBackend(
+                self._kernel_backend
+                if self._kernel_backend is not None
+                else active_backend(),
+                self._obs,
+            )
+        else:
+            self._loop_backend = self._kernel_backend
+
+    def _publish_obs_counters(self) -> None:
+        """Fold this stream's totals into the active telemetry registry.
+
+        Called once per finished stream (additive ``count``), so sequential
+        trials under one registry — a multi-trial ``repro simulate``, the
+        obs-smoke scale run — accumulate rather than overwrite.
+        """
+        obs = self._obs
+        counters = self._counters
+        obs.count("engine.events.arrival", self._popped_arrivals)
+        obs.count("engine.events.finish", self._popped_finishes)
+        obs.count("engine.events.marker", self._popped_markers)
+        obs.count("engine.rounds", counters.mapping_events)
+        obs.count("engine.mapping_events", counters.mapping_events)
+        obs.count("engine.completions", counters.completions)
+        obs.count("engine.assignments", counters.assignments)
+        obs.count("engine.deferrals", counters.deferrals)
+        obs.count("engine.evictions", counters.evictions)
+        obs.count("engine.deadline_miss_drops", counters.deadline_miss_drops)
+        obs.count("engine.proactive_drops", counters.proactive_drops)
+        obs.gauge("engine.end_time", self._now)
 
     def _handle_finish(self, task: Task, now: int) -> None:
         # The task may have been proactively dropped after this event was
@@ -491,10 +557,21 @@ class HCSimulator:
         )
         self._misses_since_event = 0
         self._terminal_since_event = []
+        obs = self._obs
+        if obs.enabled:
+            start_ns = perf_counter_ns()
         decision = self.heuristic.map_tasks(context)
         decision.validate(context)
         self._apply_decision(decision, now)
         self._counters.mapping_events += 1
+        if obs.enabled:
+            obs.add_span(
+                self._mapping_span_name,
+                start_ns,
+                perf_counter_ns() - start_ns,
+                now=now,
+                batch=len(context.batch),
+            )
         if self.observer is not None:
             self.observer.on_mapping_event(now, decision)
 

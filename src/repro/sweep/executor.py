@@ -25,6 +25,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 
+from ..obs.telemetry import active as obs_active
 from ..simulator.engine import SimulatorConfig
 from .backends import Backend, TrialResult, TrialTask, make_backend
 from .cache import ResultCache
@@ -98,8 +99,12 @@ def execute_trials(
         config, evict_executing_at_deadline=evict_executing_at_deadline
     )
     children = spawn_trial_seeds(config.seed, config.trials)
-    return [
-        execute_trial(
+    obs = obs_active()
+    trials: list[TrialMetrics] = []
+    for child in children:
+        if obs.enabled:
+            start_ns = time.perf_counter_ns()
+        metrics = execute_trial(
             pet=pet,
             heuristic=heuristic_factory(),
             workload=workload,
@@ -110,8 +115,12 @@ def execute_trials(
             cooldown=config.cooldown_tasks,
             trace=trace,
         )
-        for child in children
-    ]
+        if obs.enabled:
+            obs.add_span(
+                "sweep.trial", start_ns, time.perf_counter_ns() - start_ns
+            )
+        trials.append(metrics)
+    return trials
 
 
 def execute_point(point: SweepPoint) -> list[TrialMetrics]:
@@ -137,7 +146,10 @@ def _execute_point_trial(point: SweepPoint, trial_index: int) -> TrialMetrics:
     """
     pet = pet_for(point.pet)
     trial_seed = point.trial_seeds()[trial_index]
-    return execute_trial(
+    obs = obs_active()
+    if obs.enabled:
+        start_ns = time.perf_counter_ns()
+    metrics = execute_trial(
         pet=pet,
         heuristic=point.heuristic.build(pet.num_task_types),
         workload=point.workload,
@@ -151,6 +163,15 @@ def _execute_point_trial(point: SweepPoint, trial_index: int) -> TrialMetrics:
         cooldown=point.config.cooldown_tasks,
         trace=trace_for(point.trace) if point.trace is not None else None,
     )
+    if obs.enabled:
+        obs.add_span(
+            "sweep.trial",
+            start_ns,
+            time.perf_counter_ns() - start_ns,
+            label=point.label,
+            trial=trial_index,
+        )
+    return metrics
 
 
 @dataclass
@@ -232,16 +253,19 @@ class ParallelExecutor:
             points=points, trials_per_point=[[] for _ in points]
         )
 
+        obs = obs_active()
         pending: list[int] = []
         for index, point in enumerate(points):
             cached = self.cache.load(point) if self.cache is not None else None
             if cached is not None:
                 outcome.trials_per_point[index] = cached
                 outcome.cache_hits += 1
+                obs.count("sweep.cache_hits")
                 self._report(outcome, index, cached=True, seconds=0.0)
             else:
                 if self.cache is not None:
                     outcome.cache_misses += 1
+                    obs.count("sweep.cache_misses")
                 pending.append(index)
 
         if pending:
@@ -268,6 +292,20 @@ class ParallelExecutor:
     ) -> None:
         outcome.trials_per_point[index] = trials
         outcome.executed_trials += len(trials)
+        obs = obs_active()
+        if obs.enabled:
+            # The point already ran; reconstruct its span retrospectively
+            # from the measured wall seconds so sweeps appear on the trace
+            # timeline whichever backend executed the trials.
+            duration_ns = int(seconds * 1e9)
+            obs.add_span(
+                "sweep.point",
+                time.perf_counter_ns() - duration_ns,
+                duration_ns,
+                label=outcome.points[index].label,
+                trials=len(trials),
+            )
+            obs.count("sweep.trials_executed", len(trials))
         if self.cache is not None:
             self.cache.store(outcome.points[index], trials)
         self._report(outcome, index, cached=False, seconds=seconds)

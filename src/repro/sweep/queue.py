@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..obs.telemetry import active as obs_active
 from .trial import TrialMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -292,6 +293,7 @@ class WorkQueue:
                         (now, key),
                     )
                     conn.execute("COMMIT")
+                    obs_active().count("queue.dead_lettered")
                     continue
                 expires = now + self.lease_seconds
                 conn.execute(
@@ -301,6 +303,7 @@ class WorkQueue:
                     (owner, expires, now, key),
                 )
                 conn.execute("COMMIT")
+                obs_active().count("queue.claims")
                 return ClaimedTask(
                     task_key=key,
                     point=pickle.loads(blob),
@@ -319,7 +322,10 @@ class WorkQueue:
                 (now + self.lease_seconds, now, task_key, owner),
             )
             conn.commit()
-            return cursor.rowcount == 1
+            renewed = cursor.rowcount == 1
+            if renewed:
+                obs_active().count("queue.lease_renewals")
+            return renewed
 
     def complete(
         self,
@@ -344,7 +350,13 @@ class WorkQueue:
                 (json.dumps(metrics.to_payload()), now, seconds, task_key, owner),
             )
             conn.commit()
-            return cursor.rowcount == 1
+            completed = cursor.rowcount == 1
+            if completed:
+                obs = obs_active()
+                obs.count("queue.completions")
+                if seconds is not None:
+                    obs.observe_ns("queue.trial", int(seconds * 1e9))
+            return completed
 
     def release(self, task_key: str, owner: str) -> bool:
         """Hand a leased row straight back without burning its attempt.
@@ -363,7 +375,10 @@ class WorkQueue:
                 (now, task_key, owner),
             )
             conn.commit()
-            return cursor.rowcount == 1
+            released = cursor.rowcount == 1
+            if released:
+                obs_active().count("queue.releases")
+            return released
 
     def fail(self, task_key: str, owner: str, error: str) -> bool:
         """Record a trial failure: bounded retry, then the dead-letter state."""
@@ -386,6 +401,10 @@ class WorkQueue:
                 (next_state, error, now, task_key),
             )
             conn.execute("COMMIT")
+            obs = obs_active()
+            obs.count("queue.failures")
+            if next_state == "dead":
+                obs.count("queue.dead_lettered")
             return True
 
     # ------------------------------------------------------------------
@@ -414,6 +433,9 @@ class WorkQueue:
                 (now, now),
             ).rowcount
             conn.execute("COMMIT")
+        obs = obs_active()
+        obs.count("queue.recovered", recovered)
+        obs.count("queue.dead_lettered", dead)
         return recovered + dead
 
     def requeue(self, *, include_dead: bool = False) -> int:
@@ -433,6 +455,7 @@ class WorkQueue:
                 (now,),
             )
             conn.commit()
+            obs_active().count("queue.requeued_dead", cursor.rowcount)
             return recovered + cursor.rowcount
 
     def drain(self, *, done_only: bool = False) -> int:
